@@ -1,0 +1,17 @@
+"""F1 — Allocation balance (Jain index, CoV) vs workload skew.
+
+Paper claim: "AMF performs significantly better in balancing resource
+allocation ... particularly when the workload distribution of jobs among
+sites is highly skewed."  Expected shape: AMF's Jain index stays near the
+top while PSMF's drops as theta grows.
+"""
+
+from repro.analysis.experiments import run_f1_balance_vs_skew
+
+
+def test_f1_balance_vs_skew(run_once):
+    out = run_once(run_f1_balance_vs_skew, scale=0.5, seeds=(0, 1), thetas=(0.0, 0.5, 1.0, 1.5, 2.0))
+    sw = out.data["sweep"]
+    # shape assertion: AMF at least as balanced everywhere
+    for theta in sw.x_values:
+        assert sw.metric_at("amf/jain", theta) >= sw.metric_at("psmf/jain", theta) - 1e-9

@@ -1,0 +1,15 @@
+"""F2 — Min/max normalized allocation level vs workload skew.
+
+Expected shape: under PSMF the minimum level collapses with skew (jobs
+pinned at hot sites starve) while AMF keeps the min/max ratio near 1 for
+the unsaturated jobs it can still equalize.
+"""
+
+from repro.analysis.experiments import run_f2_minmax_vs_skew
+
+
+def test_f2_minmax_vs_skew(run_once):
+    out = run_once(run_f2_minmax_vs_skew, scale=0.5, seeds=(0, 1), thetas=(0.0, 1.0, 2.0))
+    sw = out.data["sweep"]
+    for theta in sw.x_values:
+        assert sw.metric_at("amf/min_max", theta) >= sw.metric_at("psmf/min_max", theta) - 1e-9

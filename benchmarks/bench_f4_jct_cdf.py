@@ -1,0 +1,14 @@
+"""F4 — JCT distribution (deciles) at high skew (the paper's CDF figure)."""
+
+import numpy as np
+
+from repro.analysis.experiments import run_f4_jct_distribution
+
+
+def test_f4_jct_distribution(run_once):
+    out = run_once(run_f4_jct_distribution, scale=0.3, theta=1.5, policies=("psmf", "amf", "amf-ct-quick"))
+    series = out.data["series"]
+    for name, deciles in series.items():
+        vals = np.asarray(deciles)
+        # deciles are non-decreasing by construction
+        assert (np.diff(vals) >= -1e-9).all(), name

@@ -1,0 +1,10 @@
+"""F5 — Balance vs number of jobs at fixed skew (theta = 1.2)."""
+
+from repro.analysis.experiments import run_f5_vs_njobs
+
+
+def test_f5_vs_njobs(run_once):
+    out = run_once(run_f5_vs_njobs, scale=0.4, seeds=(0, 1), n_jobs_values=(20, 60, 160))
+    sw = out.data["sweep"]
+    for n in sw.x_values:
+        assert sw.metric_at("amf/jain", n) >= sw.metric_at("psmf/jain", n) - 1e-9

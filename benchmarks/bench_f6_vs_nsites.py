@@ -1,0 +1,10 @@
+"""F6 — Balance vs number of sites at fixed skew (theta = 1.2)."""
+
+from repro.analysis.experiments import run_f6_vs_nsites
+
+
+def test_f6_vs_nsites(run_once):
+    out = run_once(run_f6_vs_nsites, scale=0.4, seeds=(0, 1), n_sites_values=(4, 8, 16))
+    sw = out.data["sweep"]
+    for m in sw.x_values:
+        assert sw.metric_at("amf/jain", m) >= sw.metric_at("psmf/jain", m) - 1e-9

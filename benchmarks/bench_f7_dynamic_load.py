@@ -1,0 +1,17 @@
+"""F7 — Dynamic open-system simulation: mean JCT and slowdown vs offered load."""
+
+from repro.analysis.experiments import run_f7_dynamic_load
+
+
+def test_f7_dynamic_load(run_once):
+    out = run_once(
+        run_f7_dynamic_load,
+        scale=0.25,
+        seeds=(0,),
+        loads=(0.4, 0.7, 0.9),
+        policies=("psmf", "amf"),
+    )
+    sw = out.data["sweep"]
+    # queueing sanity: JCT grows with load for both policies
+    for p in ("psmf", "amf"):
+        assert sw.metric_at(f"{p}/mean_jct", 0.9) >= sw.metric_at(f"{p}/mean_jct", 0.4) * 0.8

@@ -1,0 +1,17 @@
+"""F8 — Solver scalability + ablation: cutting planes vs pure bisection.
+
+DESIGN.md §6 ablation: exact bottleneck snapping (the paper's algorithm
+engineering) vs a naive tolerance binary search.  Expected shape: cutting
+planes use far fewer max-flow solves and scale better.
+"""
+
+from repro.analysis.experiments import run_f8_scalability
+
+
+def test_f8_scalability(run_once):
+    out = run_once(run_f8_scalability, scale=0.4, sizes=((50, 10), (100, 20), (200, 20)))
+    rows = out.data["rows"]
+    for row in rows:
+        assert row["cutting_solves"] <= row["bisect_solves"]
+    # and the advantage holds at the largest size measured
+    assert rows[-1]["cutting_ms"] <= rows[-1]["bisect_ms"]

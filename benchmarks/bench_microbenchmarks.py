@@ -1,0 +1,48 @@
+"""Micro-benchmarks of the core primitives (true repeated-measurement benches).
+
+Not a paper figure — these track the library's own hot paths so performance
+regressions in the flow engine or the water-filling kernels are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.amf import amf_levels
+from repro.core.persite import solve_psmf
+from repro.core.waterfilling import water_fill
+from repro.flownet.bipartite import build_network
+from repro.workload.generator import WorkloadSpec, generate_cluster
+
+
+@pytest.fixture(scope="module")
+def medium_cluster():
+    return generate_cluster(WorkloadSpec(n_jobs=100, n_sites=20, theta=1.2), np.random.default_rng(0))
+
+
+def test_bench_water_fill(benchmark):
+    rng = np.random.default_rng(1)
+    caps = rng.uniform(0.1, 5.0, 1000)
+    weights = rng.uniform(0.5, 2.0, 1000)
+    result = benchmark(water_fill, 300.0, caps, weights)
+    assert result.sum() == pytest.approx(300.0, rel=1e-6)
+
+
+def test_bench_feasibility_maxflow(benchmark, medium_cluster):
+    targets = medium_cluster.aggregate_demand * 0.2
+
+    def solve():
+        net = build_network(medium_cluster, targets)
+        return net.solve()
+
+    outcome = benchmark(solve)
+    assert outcome.demanded > 0
+
+
+def test_bench_psmf(benchmark, medium_cluster):
+    alloc = benchmark(solve_psmf, medium_cluster)
+    assert alloc.utilization > 0
+
+
+def test_bench_amf_levels(benchmark, medium_cluster):
+    levels = benchmark.pedantic(amf_levels, args=(medium_cluster,), iterations=1, rounds=3)
+    assert levels.min() >= 0

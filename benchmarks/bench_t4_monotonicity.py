@@ -1,0 +1,18 @@
+"""T4 (extension) — monotonicity axioms per policy.
+
+PSMF and AMF survive both probes; AMF-E violates monotonicity (population
+or resource, depending on the instance) because departures and site growth
+both raise the remaining jobs' entitlement floors — the inherent price of
+the sharing-incentive guarantee, reported honestly.
+"""
+
+from repro.analysis.experiments import run_t4_monotonicity
+
+
+def test_t4_monotonicity(run_once):
+    out = run_once(run_t4_monotonicity, scale=1.0, seeds=(0, 1, 2, 3))
+    data = out.data["data"]
+    assert data["amf"]["population_breaches"] == 0
+    assert data["amf"]["resource_breaches"] == 0
+    assert data["psmf"]["population_breaches"] == 0
+    assert data["psmf"]["resource_breaches"] == 0

@@ -1,0 +1,15 @@
+"""X1 (extension) — time-averaged dynamic balance vs skew.
+
+F1 scores a static snapshot; this experiment integrates Jain's index over
+the whole simulated batch, i.e. the balance the system actually sustains.
+Expected shape: AMF above PSMF at every skew, same ordering as F1.
+"""
+
+from repro.analysis.experiments import run_x1_dynamic_balance
+
+
+def test_x1_dynamic_balance(run_once):
+    out = run_once(run_x1_dynamic_balance, scale=0.3, seeds=(0,), thetas=(0.0, 1.5))
+    sw = out.data["sweep"]
+    for theta in sw.x_values:
+        assert sw.metric_at("amf/time_avg_jain", theta) >= sw.metric_at("psmf/time_avg_jain", theta) - 0.02

@@ -1,0 +1,17 @@
+"""X2 (extension) — per-event scheduling overhead of each policy.
+
+Quantifies what AMF's fairness costs at runtime: max-flow solves on every
+arrival/completion vs PSMF's closed-form water-filling.
+"""
+
+from repro.analysis.experiments import run_x2_scheduler_overhead
+
+
+def test_x2_scheduler_overhead(run_once):
+    out = run_once(run_x2_scheduler_overhead, scale=0.4, policies=("psmf", "amf", "amf-ct-quick"))
+    stats = out.data["stats"]
+    # the baseline's closed-form water-filling is the cheapest
+    assert stats["psmf"]["mean_ms"] <= stats["amf"]["mean_ms"]
+    # everything stays interactive (well under a second per event)
+    for name, s in stats.items():
+        assert s["mean_ms"] < 1000.0, name

@@ -1,0 +1,19 @@
+"""X3 (extension) — weighted AMF: aggregates track fairness weights.
+
+Half the jobs carry weight r, half weight 1 (priority classes).  The
+measured premium/standard aggregate ratio should follow r while demand is
+elastic (this run is uncapped, so it should track r closely).
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_x3_weighted_fairness
+
+
+def test_x3_weighted_fairness(run_once):
+    out = run_once(run_x3_weighted_fairness, scale=0.4, seeds=(0, 1), weight_ratios=(1.0, 4.0))
+    sw = out.data["sweep"]
+    assert sw.metric_at("measured_ratio", 1.0) == pytest.approx(1.0, rel=0.15)
+    measured = sw.metric_at("measured_ratio", 4.0)
+    # tracks the target ratio (within generator noise and shared bottlenecks)
+    assert 2.0 < measured <= 4.5

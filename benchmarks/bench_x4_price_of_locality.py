@@ -1,0 +1,20 @@
+"""X4 (extension) — the price of locality vs workload skew.
+
+Measures each policy's poorest job against the locality-oblivious
+upper bound (all capacity pooled).  Expected shape: AMF pays a far lower
+locality price than PSMF, and PSMF's price explodes with skew.
+"""
+
+from repro.analysis.experiments import run_x4_price_of_locality
+
+
+def test_x4_price_of_locality(run_once):
+    out = run_once(run_x4_price_of_locality, scale=0.4, seeds=(0, 1), thetas=(0.0, 1.0, 2.0))
+    sw = out.data["sweep"]
+    for theta in sw.x_values:
+        # the oblivious bound really is an upper bound on the min level
+        assert sw.metric_at("amf/min_level", theta) <= sw.metric_at("oblivious/min_level", theta) * 1.001
+        # AMF pays less for locality than the baseline
+        assert sw.metric_at("amf/locality_price", theta) <= sw.metric_at("psmf/locality_price", theta) + 1e-9
+    # and PSMF's price grows with skew
+    assert sw.metric_at("psmf/locality_price", 2.0) > sw.metric_at("psmf/locality_price", 0.0)

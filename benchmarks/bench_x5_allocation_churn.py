@@ -1,0 +1,18 @@
+"""X5 (extension) — allocation churn: the operational price of reallocation.
+
+Fraction of cluster capacity reassigned per scheduling event, per policy.
+There is no a-priori winner; the point is to surface the trade-off the
+fluid JCT metrics hide.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import run_x5_allocation_churn
+
+
+def test_x5_allocation_churn(run_once):
+    out = run_once(run_x5_allocation_churn, scale=0.4, seeds=(0,), policies=("psmf", "amf"))
+    acc = out.data["acc"]
+    for name, vals in acc.items():
+        mean = float(np.mean(vals))
+        assert 0.0 <= mean <= 2.0, name  # L1 churn of a capacity-bounded system

@@ -1,0 +1,16 @@
+"""X7 (extension) — multi-resource fairness: per-site DRF vs AMRF.
+
+The paper's single-resource story generalized to (cpu, mem) vectors:
+AMRF (max-min over aggregate dominant shares) dominates per-site DRF on
+dominant-share balance, with the gap growing under skew.
+"""
+
+from repro.analysis.experiments import run_x7_multiresource
+
+
+def test_x7_multiresource(run_once):
+    out = run_once(run_x7_multiresource, scale=1.0, seeds=(0, 1), thetas=(0.0, 2.0))
+    sw = out.data["sweep"]
+    for theta in sw.x_values:
+        assert sw.metric_at("amrf/jain", theta) >= sw.metric_at("psdrf/jain", theta) - 1e-9
+        assert sw.metric_at("amrf/min_share", theta) >= sw.metric_at("psdrf/min_share", theta) - 1e-9

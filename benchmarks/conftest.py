@@ -1,0 +1,23 @@
+"""Benchmark configuration.
+
+Every module regenerates one figure/table of the paper (DESIGN.md §4).
+``pytest benchmarks/ --benchmark-only`` runs each experiment once at reduced
+scale and prints the regenerated series alongside the timing; the CLI
+(``python -m repro.cli experiment all``) runs the same experiments at full
+scale.  ``-s`` shows the printed tables.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark and print it."""
+
+    def runner(fn, /, **kwargs):
+        out = benchmark.pedantic(fn, kwargs=kwargs, iterations=1, rounds=1)
+        print()
+        print(out.text)
+        return out
+
+    return runner

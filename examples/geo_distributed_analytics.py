@@ -1,0 +1,74 @@
+"""Geo-distributed analytics: the paper's motivating scenario, end to end.
+
+A federation of five datacenters runs a batch of analytics jobs whose input
+data — and therefore work — is skewed toward the popular datacenters
+(Zipf theta = 1.5).  We solve the batch under every policy, compare
+balance, then simulate the batch to completion and compare job completion
+times, including the completion-time add-on.
+
+Run:  python examples/geo_distributed_analytics.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.policies import get_policy
+from repro.metrics.fairness import balance_report
+from repro.model.validation import validate_instance
+from repro.sim.engine import simulate
+from repro.workload.generator import WorkloadSpec, generate_jobs, sites_for
+
+POLICIES = ("psmf", "amf", "amf-e", "amf-ct-quick")
+
+
+def main() -> None:
+    spec = WorkloadSpec(
+        n_jobs=40,
+        n_sites=5,
+        theta=1.5,  # highly skewed data placement
+        site_spread=3,
+        mean_work=60.0,
+        demand_scale=0.05,
+        contention=2.5,
+    )
+    rng = np.random.default_rng(2024)
+    jobs = generate_jobs(spec, rng)
+    sites = sites_for(spec, jobs)
+
+    from repro.model.cluster import Cluster
+
+    cluster = Cluster(sites, jobs)
+    print(validate_instance(cluster))
+    print()
+
+    # --- static allocation comparison -------------------------------------
+    rows = []
+    for name in POLICIES:
+        alloc = get_policy(name)(cluster)
+        rep = balance_report(alloc)
+        rows.append([name, rep.jain, rep.cov, rep.min_max, rep.utilization])
+    print(render_table(
+        ["policy", "jain", "cov", "min/max", "utilization"],
+        rows,
+        title="Static allocation balance (skewed batch, theta=1.5)",
+    ))
+    print()
+
+    # --- dynamic batch simulation ------------------------------------------
+    rows = []
+    for name in POLICIES:
+        res = simulate(sites, jobs, name)
+        s = res.summary()
+        rows.append([name, s["mean_jct"], s["median_jct"], s["p95_jct"], s["makespan"]])
+    print(render_table(
+        ["policy", "mean JCT", "median JCT", "p95 JCT", "makespan"],
+        rows,
+        title="Simulated batch completion times",
+    ))
+    print()
+    print("Expected shape: AMF-family policies balance far better than PSMF, and")
+    print("the completion-time add-on (amf-ct-quick) trims the JCT tail further.")
+
+
+if __name__ == "__main__":
+    main()

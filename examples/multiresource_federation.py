@@ -1,0 +1,71 @@
+"""Multi-resource federation: AMF generalized to (cpu, mem) vectors.
+
+The future-work extension implemented in `repro.multiresource`: three
+datacenters with different cpu/mem balances, jobs with heterogeneous
+per-task demand vectors (cpu-heavy model training vs memory-heavy
+caching).  Compares per-site DRF (Ghodsi et al., run independently per
+site) against AMRF (max-min fairness on aggregate dominant shares) and
+prints where each job's dominant share lands.
+
+Run:  python examples/multiresource_federation.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.metrics.fairness import jain_index, min_max_ratio
+from repro.multiresource import MRCluster, MRJob, MRSite, solve_amrf, solve_persite_drf
+
+
+def main() -> None:
+    sites = [
+        MRSite("compute-dc", {"cpu": 64.0, "mem": 128.0}),  # cpu-rich
+        MRSite("memory-dc", {"cpu": 16.0, "mem": 512.0}),  # mem-rich
+        MRSite("edge", {"cpu": 8.0, "mem": 32.0}),  # small
+    ]
+    jobs = [
+        # cpu-heavy training pinned mostly to the compute DC
+        MRJob("train-a", {"cpu": 4.0, "mem": 8.0}, {"compute-dc": 30.0, "edge": 4.0}),
+        MRJob("train-b", {"cpu": 4.0, "mem": 8.0}, {"compute-dc": 30.0}),
+        # memory-heavy caching spread across memory DC and edge
+        MRJob("cache-a", {"cpu": 0.5, "mem": 16.0}, {"memory-dc": 40.0, "edge": 6.0}),
+        MRJob("cache-b", {"cpu": 0.5, "mem": 16.0}, {"memory-dc": 40.0}),
+        # balanced ETL present everywhere
+        MRJob("etl", {"cpu": 2.0, "mem": 4.0}, {"compute-dc": 10.0, "memory-dc": 10.0, "edge": 10.0}),
+    ]
+    cluster = MRCluster(sites, jobs)
+
+    drf_rates = solve_persite_drf(cluster)
+    amrf_rates = solve_amrf(cluster)
+    drf_shares = cluster.aggregate_dominant_shares(drf_rates)
+    amrf_shares = cluster.aggregate_dominant_shares(amrf_rates)
+
+    rows = []
+    for i, job in enumerate(jobs):
+        rows.append(
+            [
+                job.name,
+                f"{job.task_demand.get('cpu', 0):g}c/{job.task_demand.get('mem', 0):g}m",
+                drf_rates[i].sum(),
+                drf_shares[i],
+                amrf_rates[i].sum(),
+                amrf_shares[i],
+            ]
+        )
+    print(render_table(
+        ["job", "task shape", "DRF tasks", "DRF dom.share", "AMRF tasks", "AMRF dom.share"],
+        rows,
+        title="Per-site DRF vs Aggregate Multi-Resource Fairness",
+    ))
+    print()
+    print(f"dominant-share balance:  DRF jain={jain_index(drf_shares):.4f} "
+          f"min/max={min_max_ratio(drf_shares):.4f}")
+    print(f"                        AMRF jain={jain_index(amrf_shares):.4f} "
+          f"min/max={min_max_ratio(amrf_shares):.4f}")
+    print()
+    print("AMRF equalizes what each job holds of its scarcest federation-wide")
+    print("resource; per-site DRF leaves the cross-site imbalance in place.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Strategy-proofness demo: why AMF resists gaming and naive policies don't.
+
+The paper proves AMF is strategy-proof: no job can increase what it
+*usefully* receives by misreporting its workload distribution or demand
+caps.  This example makes the claim tangible:
+
+1. run the randomized manipulation probe against AMF — it finds nothing;
+2. run the same probe against a deliberately gameable policy that divides
+   each site proportionally to *reported total work* — it finds profitable
+   lies immediately and prints them.
+
+Run:  python examples/strategyproofness_demo.py
+"""
+
+import numpy as np
+
+from repro.core import properties
+from repro.core.allocation import Allocation
+from repro.core.amf import solve_amf
+from repro.model.cluster import Cluster
+from repro.model.job import Job
+from repro.model.site import Site
+
+
+def proportional_to_reported_work(cluster: Cluster) -> Allocation:
+    """A tempting but gameable policy: bigger reported jobs get more."""
+    shares = cluster.workloads.sum(axis=1)
+    matrix = np.zeros_like(cluster.workloads)
+    for j in range(cluster.n_sites):
+        present = np.flatnonzero(cluster.support[:, j])
+        if present.size == 0:
+            continue
+        local = shares[present] / shares[present].sum()
+        matrix[present, j] = np.minimum(local * cluster.capacities[j], cluster.demand_caps[present, j])
+    return Allocation(cluster, matrix, policy="proportional-to-work")
+
+
+def main() -> None:
+    cluster = Cluster(
+        sites=[Site("east", 4.0), Site("west", 4.0)],
+        jobs=[
+            Job("etl", {"east": 3.0, "west": 1.0}),
+            Job("training", {"east": 2.0, "west": 2.0}),
+            Job("reporting", {"east": 1.0, "west": 3.0}),
+        ],
+    )
+    rng = np.random.default_rng(42)
+
+    print("=== Probing AMF (proved strategy-proof) ===")
+    wins = properties.strategy_proofness_probe(cluster, solve_amf, rng, attempts=40)
+    print(f"manipulation attempts that paid off: {len(wins)}")
+    assert not wins, "AMF should resist every manipulation"
+
+    print("\n=== Probing a naive 'proportional to reported work' policy ===")
+    wins = properties.strategy_proofness_probe(cluster, proportional_to_reported_work, rng, attempts=40)
+    print(f"manipulation attempts that paid off: {len(wins)}")
+    for w in wins[:5]:
+        gain_pct = 100.0 * w.gain / w.truthful_utility
+        print(
+            f"  job {w.job!r} lied via {w.kind!r}: utility "
+            f"{w.truthful_utility:.3f} -> {w.manipulated_utility:.3f} (+{gain_pct:.1f}%)"
+        )
+    print("\nThe same probe that certifies AMF exposes the naive policy —")
+    print("evidence the checker has teeth, not just that AMF passes it.")
+
+
+if __name__ == "__main__":
+    main()

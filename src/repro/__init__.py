@@ -1,0 +1,66 @@
+"""repro — Aggregate Max-min Fairness for distributed job execution.
+
+A full reproduction of Guan, Li & Tang, *On Max-min Fair Resource Allocation
+for Distributed Job Execution* (ICPP 2019): the AMF / enhanced-AMF / PSMF
+policies, the completion-time add-on, exact fairness-property checkers, a
+fluid event-driven simulator and the experiment harness.
+
+Quickstart::
+
+    import repro
+
+    cluster = repro.Cluster.from_matrices(
+        capacities=[10.0, 10.0],
+        workloads=[[8.0, 2.0], [2.0, 8.0], [5.0, 5.0]],
+    )
+    alloc = repro.solve_amf(cluster)
+    print(alloc.pretty())
+
+See README.md and the examples/ directory.
+"""
+
+from repro.model import Cluster, Job, Site, validate_instance
+from repro.core import (
+    Allocation,
+    POLICIES,
+    get_policy,
+    optimize_completion_times,
+    proportional_split,
+    solve_amf,
+    solve_amf_enhanced,
+    solve_psmf,
+    water_fill,
+)
+from repro.core.amf import amf_levels, AmfDiagnostics
+from repro.core.enhanced import sharing_incentive_floors
+from repro.core import properties
+from repro.sim import simulate, FluidSimulator, Trace
+from repro.workload import WorkloadSpec, generate_cluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "Job",
+    "Site",
+    "validate_instance",
+    "Allocation",
+    "POLICIES",
+    "get_policy",
+    "solve_amf",
+    "solve_amf_enhanced",
+    "solve_psmf",
+    "amf_levels",
+    "AmfDiagnostics",
+    "sharing_incentive_floors",
+    "optimize_completion_times",
+    "proportional_split",
+    "water_fill",
+    "properties",
+    "simulate",
+    "FluidSimulator",
+    "Trace",
+    "WorkloadSpec",
+    "generate_cluster",
+    "__version__",
+]

@@ -1,0 +1,10 @@
+"""Experiment harness: sweeps, seed-replication, ASCII tables.
+
+Used by ``benchmarks/`` (one module per paper figure/table) and by the CLI
+(``python -m repro.cli``) to regenerate every experiment series.
+"""
+
+from repro.analysis.tables import render_table, render_series, fmt
+from repro.analysis.sweep import SweepResult, replicate, sweep1d
+
+__all__ = ["render_table", "render_series", "fmt", "SweepResult", "replicate", "sweep1d"]

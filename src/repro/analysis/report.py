@@ -1,0 +1,94 @@
+"""One-shot reproduction report: run every experiment, emit a markdown file.
+
+``python -m repro.cli report --out report.md --scale 0.5`` regenerates the
+whole evaluation and writes a self-contained document — the programmatic
+sibling of EXPERIMENTS.md.  Each experiment section embeds the rendered
+series/table plus the wall time; a header records the library version and
+configuration so reports are comparable across machines.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.experiments import EXPERIMENTS, ExperimentOutput
+
+
+@dataclass(slots=True)
+class ReportSection:
+    experiment: str
+    seconds: float
+    output: ExperimentOutput | None
+    error: str | None = None
+
+
+@dataclass(slots=True)
+class Report:
+    scale: float
+    sections: list[ReportSection] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    def to_markdown(self) -> str:
+        import repro
+
+        lines = [
+            "# AMF reproduction report",
+            "",
+            f"- library version: `{repro.__version__}`",
+            f"- scale: `{self.scale}`",
+            f"- total wall time: `{self.total_seconds:.1f}s`",
+            f"- experiments: {sum(1 for s in self.sections if s.error is None)} ok, "
+            f"{sum(1 for s in self.sections if s.error is not None)} failed",
+            "",
+        ]
+        for sec in self.sections:
+            lines.append(f"## {sec.experiment}  ({sec.seconds:.1f}s)")
+            lines.append("")
+            if sec.error is not None:
+                lines.append(f"**FAILED:** `{sec.error}`")
+            else:
+                lines.append("```")
+                lines.append(sec.output.text)
+                lines.append("```")
+            lines.append("")
+        return "\n".join(lines)
+
+
+def generate_report(
+    scale: float = 1.0,
+    experiments: Sequence[str] | None = None,
+    *,
+    keep_going: bool = True,
+) -> Report:
+    """Run the selected experiments (default: all) and collect a report.
+
+    With ``keep_going`` (default) a failing experiment is recorded and the
+    rest still run; otherwise the exception propagates.
+    """
+    ids = list(EXPERIMENTS) if experiments is None else [e.upper() for e in experiments]
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}; choices: {list(EXPERIMENTS)}")
+    report = Report(scale=scale)
+    t_start = time.perf_counter()
+    for eid in ids:
+        t0 = time.perf_counter()
+        try:
+            out = EXPERIMENTS[eid](scale=scale)
+            report.sections.append(ReportSection(eid, time.perf_counter() - t0, out))
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            if not keep_going:
+                raise
+            report.sections.append(ReportSection(eid, time.perf_counter() - t0, None, error=repr(exc)))
+    report.total_seconds = time.perf_counter() - t_start
+    return report
+
+
+def write_report(path: str | Path, scale: float = 1.0, experiments: Sequence[str] | None = None) -> Report:
+    """Generate and write the markdown report; returns the Report object."""
+    report = generate_report(scale=scale, experiments=experiments)
+    Path(path).write_text(report.to_markdown())
+    return report

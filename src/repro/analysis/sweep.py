@@ -1,0 +1,67 @@
+"""Parameter sweeps with seed replication.
+
+Every figure in the reproduction is a 1-D sweep (skew, #jobs, #sites,
+load) of scalar metrics averaged over random seeds.  :func:`sweep1d` owns
+that loop so the benchmark modules stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """Outcome of a 1-D sweep: ``mean[metric][k]`` aligns with ``x_values[k]``."""
+
+    x_label: str
+    x_values: list
+    mean: dict[str, list[float]] = field(default_factory=dict)
+    std: dict[str, list[float]] = field(default_factory=dict)
+
+    def series(self, metrics: Sequence[str] | None = None) -> dict[str, list[float]]:
+        keys = metrics if metrics is not None else list(self.mean)
+        return {k: self.mean[k] for k in keys}
+
+    def metric_at(self, metric: str, x) -> float:
+        return self.mean[metric][self.x_values.index(x)]
+
+
+def replicate(
+    fn: Callable[[np.random.Generator], Mapping[str, float]],
+    seeds: Sequence[int],
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Run ``fn`` once per seed; return per-metric mean and std."""
+    rows = [fn(np.random.default_rng(seed)) for seed in seeds]
+    keys = list(rows[0])
+    mean = {k: float(np.mean([r[k] for r in rows])) for k in keys}
+    std = {k: float(np.std([r[k] for r in rows])) for k in keys}
+    return mean, std
+
+
+def sweep1d(
+    x_label: str,
+    x_values: Sequence,
+    fn: Callable[[object, np.random.Generator], Mapping[str, float]],
+    seeds: Sequence[int] = (0, 1, 2),
+) -> SweepResult:
+    """Evaluate ``fn(x, rng)`` for every ``x`` and seed; aggregate per metric.
+
+    ``fn`` returns a flat ``{metric: value}`` mapping; metrics must be the
+    same for every point.  Non-finite samples are dropped per-metric (a
+    starved static completion time should not wipe out the mean).
+    """
+    result = SweepResult(x_label, list(x_values))
+    for x in x_values:
+        rows = [fn(x, np.random.default_rng(seed)) for seed in seeds]
+        for key in rows[0]:
+            samples = np.asarray([r[key] for r in rows], dtype=float)
+            finite = samples[np.isfinite(samples)]
+            m = float(finite.mean()) if finite.size else np.nan
+            s = float(finite.std()) if finite.size else np.nan
+            result.mean.setdefault(key, []).append(m)
+            result.std.setdefault(key, []).append(s)
+    return result

@@ -1,0 +1,67 @@
+"""ASCII rendering of experiment tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def fmt(value, precision: int = 4) -> str:
+    """Compact numeric formatting (NaN/inf-safe) for table cells."""
+    if isinstance(value, str):
+        return value
+    if value is None:
+        return "-"
+    v = float(value)
+    if np.isnan(v):
+        return "nan"
+    if np.isinf(v):
+        return "inf"
+    if v == int(v) and abs(v) < 1e9:
+        return str(int(v))
+    return f"{v:.{precision}g}"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for k, c in enumerate(row):
+            widths[k] = max(widths[k], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence],
+    title: str | None = None,
+    sparklines: bool = False,
+) -> str:
+    """Render a figure as one row per x-value, one column per series.
+
+    This is the textual equivalent of the paper's line plots: the *shape*
+    (who wins, where curves cross) is readable directly.  With
+    ``sparklines=True`` a shared-scale sparkline per series is appended,
+    which makes crossovers visible at a glance.
+    """
+    headers = [x_label, *series.keys()]
+    rows = []
+    for k, x in enumerate(x_values):
+        rows.append([x, *(vals[k] for vals in series.values())])
+    text = render_table(headers, rows, title=title)
+    if sparklines:
+        from repro.analysis.sparkline import sparkline_summary
+
+        text += "\n\nshape (shared scale):\n" + sparkline_summary(series)
+    return text

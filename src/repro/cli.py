@@ -1,0 +1,199 @@
+"""Command-line entry points: ``python -m repro.cli`` / ``repro-amf``.
+
+Subcommands
+-----------
+
+``experiment <ID ...>``
+    Regenerate paper figures/tables (F1..F8, T1..T3, or ``all``).
+``solve``
+    Solve one random (or demo) instance under a policy and print the
+    allocation, balance metrics and properties.
+``simulate``
+    Run the fluid simulator on a generated workload and print JCT stats.
+``validate``
+    Generate an instance and print its diagnostics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.experiments import EXPERIMENTS
+from repro.core import properties
+from repro.core.policies import POLICIES, get_policy
+from repro.metrics.fairness import balance_report
+from repro.model.validation import validate_instance
+from repro.sim.engine import simulate
+from repro.workload.generator import WorkloadSpec, generate_cluster, generate_jobs, sites_for
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=20, help="number of jobs")
+    p.add_argument("--sites", type=int, default=6, help="number of sites")
+    p.add_argument("--theta", type=float, default=1.2, help="workload skew (0 = uniform)")
+    p.add_argument("--seed", type=int, default=0, help="random seed")
+    p.add_argument(
+        "--scenario",
+        metavar="NAME",
+        help="use a named preset instead of --jobs/--sites/--theta (see repro.workload.scenarios)",
+    )
+
+
+def _spec(args) -> WorkloadSpec:
+    if getattr(args, "scenario", None):
+        from repro.workload.scenarios import get_scenario
+
+        return get_scenario(args.scenario)
+    return WorkloadSpec(n_jobs=args.jobs, n_sites=args.sites, theta=args.theta)
+
+
+def cmd_experiment(args) -> int:
+    if args.list:
+        for eid, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{eid:4s} {doc}")
+        return 0
+    ids = list(EXPERIMENTS) if "all" in args.ids else [i.upper() for i in args.ids]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choices: {list(EXPERIMENTS)} or 'all'", file=sys.stderr)
+        return 2
+    for eid in ids:
+        out = EXPERIMENTS[eid](scale=args.scale)
+        print(out.text)
+        print()
+    return 0
+
+
+def cmd_solve(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.load:
+        from repro.model.serialize import load_cluster
+
+        cluster = load_cluster(args.load)
+    else:
+        cluster = generate_cluster(_spec(args), rng)
+    alloc = get_policy(args.policy)(cluster)
+    print(alloc.pretty())
+    rep = balance_report(alloc)
+    print(f"\nbalance: jain={rep.jain:.4f} cov={rep.cov:.4f} min/max={rep.min_max:.4f}")
+    if args.check:
+        prop = properties.check_all(alloc)
+        print(
+            f"properties: pareto={prop.pareto} max-min={prop.max_min} "
+            f"envy-free={prop.envy_free} sharing-incentive={prop.sharing_incentive}"
+        )
+    if args.save:
+        from repro.model.serialize import save_allocation
+
+        save_allocation(alloc, args.save)
+        print(f"allocation written to {args.save}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    spec = _spec(args)
+    jobs = generate_jobs(spec, rng)
+    sites = sites_for(spec, jobs)
+    trace = None
+    observer = None
+    observers = []
+    if args.trace:
+        from repro.sim.trace import Trace
+
+        trace = Trace(max_events=10_000)
+    if args.observe:
+        from repro.sim.observers import BalanceObserver, ChurnObserver, CompositeObserver, UtilizationObserver
+
+        named = {"balance": BalanceObserver(), "churn": ChurnObserver(), "utilization": UtilizationObserver()}
+        observers = [(n, named[n]) for n in args.observe]
+        observer = CompositeObserver([o for _, o in observers])
+    res = simulate(sites, jobs, args.policy, trace=trace, observer=observer)
+    print(res)
+    if trace is not None:
+        print("\nevent trace:")
+        print(trace.render(limit=args.trace))
+    for name, obs in observers:
+        if name == "balance":
+            print(f"\ntime-averaged balance: jain={obs.time_avg_jain:.4f} cov={obs.time_avg_cov:.4f}")
+        elif name == "churn":
+            print(f"\nmean allocation churn per event: {obs.mean_churn:.4f}")
+        elif name == "utilization":
+            avgs = ", ".join(f"{k}={v:.3f}" for k, v in obs.averages().items())
+            print(f"\ntime-averaged site utilization: {avgs}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    cluster = generate_cluster(_spec(args), rng)
+    print(validate_instance(cluster))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import write_report
+
+    report = write_report(args.out, scale=args.scale, experiments=args.only or None)
+    failed = [s.experiment for s in report.sections if s.error is not None]
+    print(f"wrote {args.out}: {len(report.sections)} experiments in {report.total_seconds:.1f}s")
+    if failed:
+        print(f"FAILED: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-amf", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiment", help="regenerate paper figures/tables")
+    p_exp.add_argument("ids", nargs="*", default=[], help="experiment ids (F1..F8, T1..T3, X1..X2) or 'all'")
+    p_exp.add_argument("--scale", type=float, default=1.0, help="size scale (use <1 for a quick run)")
+    p_exp.add_argument("--list", action="store_true", help="list experiments and exit")
+    p_exp.set_defaults(fn=cmd_experiment)
+
+    p_solve = sub.add_parser("solve", help="solve one generated instance")
+    _add_workload_args(p_solve)
+    p_solve.add_argument("--policy", choices=sorted(POLICIES), default="amf")
+    p_solve.add_argument("--check", action="store_true", help="also run property checks")
+    p_solve.add_argument("--load", metavar="JSON", help="solve a cluster loaded from a JSON file instead of generating one")
+    p_solve.add_argument("--save", metavar="JSON", help="write the allocation (with cluster) to a JSON file")
+    p_solve.set_defaults(fn=cmd_solve)
+
+    p_sim = sub.add_parser("simulate", help="simulate a generated batch")
+    _add_workload_args(p_sim)
+    p_sim.add_argument("--policy", choices=sorted(POLICIES), default="amf-ct-quick")
+    p_sim.add_argument("--trace", type=int, nargs="?", const=25, default=0, metavar="N", help="print the first N events")
+    p_sim.add_argument(
+        "--observe",
+        nargs="+",
+        choices=["balance", "churn", "utilization"],
+        default=[],
+        help="attach observers and print their summaries",
+    )
+    p_sim.set_defaults(fn=cmd_simulate)
+
+    p_val = sub.add_parser("validate", help="diagnostics of a generated instance")
+    _add_workload_args(p_val)
+    p_val.set_defaults(fn=cmd_validate)
+
+    p_rep = sub.add_parser("report", help="run all experiments and write a markdown report")
+    p_rep.add_argument("--out", default="report.md", help="output path")
+    p_rep.add_argument("--scale", type=float, default=1.0, help="experiment size scale")
+    p_rep.add_argument("--only", nargs="*", default=[], help="restrict to these experiment ids")
+    p_rep.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,147 @@
+"""Allocation: a concrete job-site resource assignment plus derived views."""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro._util import ABS_TOL, fle, require
+from repro.model.cluster import Cluster
+
+
+def scrub_matrix(cluster: Cluster, matrix: np.ndarray) -> np.ndarray:
+    """Scrub flow-tolerance residue so the strict Allocation invariants hold.
+
+    Solvers reconstruct matrices from float flows (and sometimes rescale
+    rows to hit exact aggregates), which can overshoot a demand cap or a
+    site capacity by the flow tolerance.  Clip to caps and rescale
+    over-committed site columns; the relative change is bounded by that
+    same tolerance, far below anything the experiments can see.
+    """
+    matrix = np.minimum(matrix, cluster.demand_caps)
+    usage = matrix.sum(axis=0)
+    for j in np.flatnonzero(usage > cluster.capacities):
+        matrix[:, j] *= cluster.capacities[j] / usage[j]
+    return matrix
+
+
+class Allocation:
+    """An ``(n, m)`` allocation matrix bound to its cluster.
+
+    Invariants enforced on construction (up to library tolerance):
+
+    * non-negative entries,
+    * zero outside each job's support,
+    * per-edge demand caps respected,
+    * per-site capacities respected.
+
+    The matrix is defensively copied and frozen; policies return new
+    ``Allocation`` objects rather than mutating.
+    """
+
+    def __init__(self, cluster: Cluster, matrix: np.ndarray, *, policy: str = "custom"):
+        matrix = np.array(matrix, dtype=float)
+        require(
+            matrix.shape == (cluster.n_jobs, cluster.n_sites),
+            f"allocation shape {matrix.shape} != ({cluster.n_jobs}, {cluster.n_sites})",
+        )
+        require(bool(np.isfinite(matrix).all()), "allocation must be finite")
+        require(float(matrix.min(initial=0.0)) >= -ABS_TOL, "allocation must be non-negative")
+        matrix = np.maximum(matrix, 0.0)
+        off_support = matrix[~cluster.support]
+        require(
+            off_support.size == 0 or float(off_support.max()) <= ABS_TOL,
+            "allocation must be zero outside each job's workload support",
+        )
+        matrix[~cluster.support] = 0.0
+        scale = max(1.0, float(cluster.n_jobs))
+        over_cap = matrix - cluster.demand_caps
+        require(
+            float(over_cap.max(initial=0.0)) <= ABS_TOL * scale,
+            f"allocation exceeds a demand cap by {float(over_cap.max(initial=0.0)):g}",
+        )
+        per_site = matrix.sum(axis=0)
+        for j, used in enumerate(per_site):
+            require(
+                fle(used, cluster.capacities[j], scale=scale),
+                f"site {cluster.sites[j].name!r} over-allocated: {used:g} > {cluster.capacities[j]:g}",
+            )
+        matrix.flags.writeable = False
+        self.cluster = cluster
+        self.matrix = matrix
+        self.policy = policy
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def aggregates(self) -> np.ndarray:
+        """``(n,)`` aggregate allocation ``A_i = sum_j a_ij``."""
+        arr = self.matrix.sum(axis=1)
+        arr.flags.writeable = False
+        return arr
+
+    @cached_property
+    def site_usage(self) -> np.ndarray:
+        """``(m,)`` total allocation per site."""
+        arr = self.matrix.sum(axis=0)
+        arr.flags.writeable = False
+        return arr
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of total capacity allocated."""
+        return float(self.site_usage.sum() / self.cluster.total_capacity)
+
+    def aggregate_of(self, job_name: str) -> float:
+        return float(self.aggregates[self.cluster.job_index(job_name)])
+
+    # ------------------------------------------------------------------
+    def completion_times(self) -> np.ndarray:
+        """``(n,)`` static completion times ``T_i = max_j w_ij / a_ij``.
+
+        A job with positive work at a site but zero allocation there never
+        finishes (``inf``).  This is the fluid model of DESIGN.md §1; the
+        dynamic simulator in :mod:`repro.sim` refines it with reallocation
+        at every event.
+        """
+        W = self.cluster.workloads
+        out = np.zeros(self.cluster.n_jobs)
+        for i in range(self.cluster.n_jobs):
+            worst = 0.0
+            for j in np.flatnonzero(W[i] > 0.0):
+                a = self.matrix[i, j]
+                if a <= ABS_TOL:
+                    worst = np.inf
+                    break
+                worst = max(worst, W[i, j] / a)
+            out[i] = worst
+        return out
+
+    def normalized_aggregates(self) -> np.ndarray:
+        """Aggregates divided by fairness weights (the quantity AMF equalizes)."""
+        return self.aggregates / self.cluster.weights
+
+    def with_matrix(self, matrix: np.ndarray, *, policy: str | None = None) -> "Allocation":
+        """A new allocation on the same cluster (used by the CT add-on)."""
+        return Allocation(self.cluster, matrix, policy=policy or self.policy)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ags = self.aggregates
+        return (
+            f"Allocation(policy={self.policy!r}, jobs={self.cluster.n_jobs}, "
+            f"min={ags.min():.4g}, max={ags.max():.4g}, util={self.utilization:.3f})"
+        )
+
+    def pretty(self, max_rows: int = 12) -> str:
+        """Small human-readable table (used by examples and the CLI)."""
+        lines = [f"policy={self.policy} utilization={self.utilization:.3f}"]
+        header = "job".ljust(12) + "".join(s.name.rjust(10) for s in self.cluster.sites[:8]) + "  aggregate"
+        lines.append(header)
+        for i, job in enumerate(self.cluster.jobs[:max_rows]):
+            row = job.name.ljust(12)
+            row += "".join(f"{self.matrix[i, j]:10.3f}" for j in range(min(8, self.cluster.n_sites)))
+            row += f"  {self.aggregates[i]:9.3f}"
+            lines.append(row)
+        if self.cluster.n_jobs > max_rows:
+            lines.append(f"... ({self.cluster.n_jobs - max_rows} more jobs)")
+        return "\n".join(lines)

@@ -1,0 +1,379 @@
+"""Aggregate Max-min Fairness (AMF) — the paper's core contribution.
+
+AMF requires the vector of *aggregate* allocations ``A_i = sum_j a_ij`` to be
+(weighted) max-min fair over the feasible region cut out by site capacities,
+per-edge demand caps and locality support.  The feasible aggregates form a
+polymatroid-like region whose facets are min cuts of the job-site network,
+which suggests the exact algorithm implemented here:
+
+**Progressive filling with cutting-plane bottleneck detection.**  Jobs start
+*active* at a common normalized level ``lam`` (job ``i`` targets
+``clip(lam * weight_i, floor_i, cap_i)``).  Each round finds the largest
+``lam`` feasible together with the already-frozen jobs:
+
+1. Maintain a set of *valid cut constraints* ``sum_{i in J} A_i <= rhs``
+   (seeded with the total-capacity cut over all jobs and sites).
+2. Propose ``lam = min_c max{lam : LHS_c(lam) <= rhs_c}`` — exact via the
+   piecewise-linear :class:`PiecewiseFill` (no binary search).
+3. Check feasibility at the proposal with one max-flow.  Feasible: the
+   proposal is this round's max-min level, because any larger ``lam``
+   violates a recorded cut.  Infeasible: the min cut yields a *new violated
+   constraint*; add it and repeat (``lam`` strictly decreases, so the loop
+   adds each cut at most once).
+4. Freeze every active job that is demand-saturated or sits in a binding
+   cut; the rest continue into the next round.
+
+The result is exact up to flow tolerance (no level is located by search) and
+is verified max-min by :mod:`repro.core.properties` in the test suite, with
+:mod:`repro.core.reference` as an independent oracle.
+
+``floors`` implement the enhanced AMF of the paper (sharing-incentive
+guarantees, :mod:`repro.core.enhanced`): progressive filling then runs
+*above* per-job guaranteed aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import ABS_TOL, feq, require
+from repro.core.allocation import Allocation, scrub_matrix
+from repro.flownet.bipartite import build_network
+from repro.model.cluster import Cluster
+
+__all__ = ["solve_amf", "amf_levels", "amf_levels_bisect", "AmfDiagnostics", "PiecewiseFill"]
+
+
+@dataclass(slots=True)
+class AmfDiagnostics:
+    """Solver instrumentation (reported by the scalability benchmark F8)."""
+
+    rounds: int = 0
+    feasibility_solves: int = 0
+    cuts_generated: int = 0
+    frozen_by_cap: int = 0
+    frozen_by_cut: int = 0
+
+
+class PiecewiseFill:
+    """Exact evaluator for ``G(lam) = sum_i clip(lam * w_i, f_i, c_i)``.
+
+    ``G`` is continuous, non-decreasing and piecewise linear; this class
+    precomputes its segment structure (event sweep over the per-job
+    breakpoints ``f_i / w_i`` and ``c_i / w_i``) so that
+
+    * :meth:`value` evaluates ``G`` in ``O(log n)``, and
+    * :meth:`max_level` solves ``sup { lam : G(lam) <= rhs }`` exactly.
+
+    Frozen jobs are modelled by ``f_i = c_i = level_i`` (constant terms).
+    """
+
+    __slots__ = ("base", "levels", "consts", "slopes", "total_cap", "top_level")
+
+    def __init__(self, floors: np.ndarray, caps: np.ndarray, weights: np.ndarray):
+        caps = np.asarray(caps, dtype=float)
+        floors = np.minimum(np.asarray(floors, dtype=float), caps)
+        weights = np.asarray(weights, dtype=float)
+        require(bool((weights > 0).all()), "weights must be positive")
+        require(bool(np.isfinite(caps).all()), "caps must be finite (clip to site capacity first)")
+        starts = floors / weights
+        ends = caps / weights
+        # Event sweep: +w slope when a job starts rising, -w / +c when it caps.
+        events = np.concatenate(
+            [
+                np.stack([starts, -floors, weights], axis=1),
+                np.stack([ends, caps, -weights], axis=1),
+            ]
+        )
+        order = np.argsort(events[:, 0], kind="stable")
+        events = events[order]
+        self.base = float(floors.sum())  # G before any job starts rising
+        self.levels = events[:, 0]
+        self.consts = self.base + np.cumsum(events[:, 1])
+        self.slopes = np.cumsum(events[:, 2])
+        self.total_cap = float(caps.sum())
+        self.top_level = float(ends.max(initial=0.0))
+
+    def value(self, lam: float) -> float:
+        """Evaluate ``G(lam)`` (``lam`` must be >= 0)."""
+        k = int(np.searchsorted(self.levels, lam, side="right")) - 1
+        if k < 0:
+            return self.base
+        return float(self.consts[k] + self.slopes[k] * lam)
+
+    def max_level(self, rhs: float) -> float:
+        """``sup { lam >= 0 : G(lam) <= rhs }`` (``inf`` when never binding; 0 when even the floors exceed ``rhs``)."""
+        if self.total_cap <= rhs + ABS_TOL:
+            return np.inf
+        # values at each segment's *start* (== end of previous segment, by continuity):
+        seg_start_vals = self.consts + self.slopes * self.levels
+        # first segment whose start value exceeds rhs:
+        idx = int(np.searchsorted(seg_start_vals, rhs, side="right"))
+        if idx == 0:
+            # even the floor sum is above rhs (only possible with infeasible
+            # floors, which the solver rejects up front) — degenerate answer.
+            return 0.0
+        k = idx - 1  # G(segment start of k) <= rhs < G(segment start of k+1)
+        c, s = self.consts[k], self.slopes[k]
+        if s <= 0.0:
+            # Defensive: continuity makes a zero-slope crossing impossible.
+            return float(self.levels[idx]) if idx < len(self.levels) else np.inf
+        return float((rhs - c) / s)
+
+
+# ----------------------------------------------------------------------
+# Solver
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class _Round:
+    """Constraint pool for one progressive-filling round."""
+
+    members: list[np.ndarray] = field(default_factory=list)  # job index arrays
+    fills: list[PiecewiseFill] = field(default_factory=list)
+    rhs: list[float] = field(default_factory=list)
+
+    def add(self, jobs: np.ndarray, fill: PiecewiseFill, rhs: float) -> None:
+        self.members.append(jobs)
+        self.fills.append(fill)
+        self.rhs.append(rhs)
+
+    def propose(self) -> tuple[float, list[int]]:
+        """Largest lam satisfying all constraints, plus indices of binding ones."""
+        lam = np.inf
+        per = [f.max_level(r) for f, r in zip(self.fills, self.rhs)]
+        lam = min(per)
+        binding = [k for k, v in enumerate(per) if v <= lam * (1 + 1e-12) + ABS_TOL]
+        return lam, binding
+
+
+def _cut_rhs(cluster: Cluster, cut_jobs: np.ndarray, cut_sites: frozenset[int]) -> float:
+    """RHS of the cut constraint: source-side site capacity + crossing demand caps."""
+    caps = cluster.demand_caps
+    rhs = float(sum(cluster.capacities[j] for j in cut_sites))
+    sink_sites = np.array([j for j in range(cluster.n_sites) if j not in cut_sites], dtype=int)
+    if sink_sites.size and cut_jobs.size:
+        rhs += float(caps[np.ix_(cut_jobs, sink_sites)].sum())
+    return rhs
+
+
+def amf_levels(
+    cluster: Cluster,
+    floors: np.ndarray | None = None,
+    diagnostics: AmfDiagnostics | None = None,
+) -> np.ndarray:
+    """Compute the AMF aggregate vector ``(A_1..A_n)`` for ``cluster``.
+
+    Parameters
+    ----------
+    cluster:
+        The instance.
+    floors:
+        Optional per-job guaranteed aggregates (enhanced AMF).  Must be
+        jointly feasible; :class:`ValueError` is raised otherwise.
+    diagnostics:
+        Optional mutable instrumentation record.
+
+    Returns
+    -------
+    ``(n,)`` aggregates of the (weighted, floor-respecting) max-min fair
+    allocation.  Use :func:`solve_amf` for a realized job-site matrix.
+    """
+    n = cluster.n_jobs
+    diag = diagnostics if diagnostics is not None else AmfDiagnostics()
+    if n == 0:
+        return np.zeros(0)
+    caps = cluster.aggregate_demand.copy()
+    weights = cluster.weights
+    if floors is None:
+        floors = np.zeros(n)
+    else:
+        floors = np.minimum(np.asarray(floors, dtype=float), caps)
+        require(floors.shape == (n,), "floors must have one entry per job")
+        require(float(floors.min(initial=0.0)) >= -ABS_TOL, "floors must be non-negative")
+        floors = np.maximum(floors, 0.0)
+
+    network = build_network(cluster)
+    levels = floors.copy()  # frozen jobs keep their entry; active entries are provisional
+    frozen = np.zeros(n, dtype=bool)
+
+    def targets_at(lam: float) -> np.ndarray:
+        t = np.clip(lam * weights, floors, caps)
+        t[frozen] = levels[frozen]
+        return t
+
+    def feasible(targets: np.ndarray) -> tuple[bool, frozenset[int], frozenset[int]]:
+        diag.feasibility_solves += 1
+        network.set_targets(targets)
+        outcome = network.solve()
+        return outcome.feasible, outcome.cut_jobs, outcome.cut_sites
+
+    ok, _, _ = feasible(targets_at(0.0))
+    if not ok:
+        raise ValueError("floors are infeasible for this cluster")
+
+    # Cut constraints are valid for the whole solve (their RHS depends only
+    # on the cluster), so the pool persists across rounds; only the
+    # piecewise LHS structure is rebuilt as jobs freeze.
+    all_jobs = np.arange(n)
+    known_cuts: list[tuple[np.ndarray, float]] = [(all_jobs, cluster.total_capacity)]
+
+    lam_done = 0.0
+    while not frozen.all():
+        diag.rounds += 1
+        # Effective piecewise parameters: frozen jobs contribute constants.
+        f_eff = np.where(frozen, levels, floors)
+        c_eff = np.where(frozen, levels, caps)
+        pool = _Round()
+        for member, rhs in known_cuts:
+            pool.add(member, PiecewiseFill(f_eff[member], c_eff[member], weights[member]), rhs)
+
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 10 * (n + cluster.n_sites) + 100:  # pragma: no cover
+                raise RuntimeError("AMF cutting-plane loop failed to converge (numeric breakdown)")
+            lam, binding = pool.propose()
+            lam_eval = min(lam, max(pool.fills[0].top_level, lam_done))
+            lam_eval = max(lam_eval, lam_done)
+            targets = targets_at(lam_eval)
+            ok, cut_jobs, cut_sites = feasible(targets)
+            if ok:
+                break
+            member = np.array(sorted(cut_jobs), dtype=int)
+            rhs = _cut_rhs(cluster, member, cut_sites)
+            require(member.size > 0, "infeasible cut without source-side jobs (numeric breakdown)")
+            pool.add(member, PiecewiseFill(f_eff[member], c_eff[member], weights[member]), rhs)
+            known_cuts.append((member, rhs))
+            diag.cuts_generated += 1
+
+        lam_star = lam_eval
+        new_levels = targets_at(lam_star)
+        to_freeze = np.zeros(n, dtype=bool)
+        # demand-saturated actives
+        cap_sat = (~frozen) & (new_levels >= caps - ABS_TOL * np.maximum(1.0, caps))
+        to_freeze |= cap_sat
+        diag.frozen_by_cap += int(cap_sat.sum())
+        # members of binding cuts
+        if not np.isinf(lam):
+            for k in binding:
+                mem = pool.members[k]
+                in_cut = np.zeros(n, dtype=bool)
+                in_cut[mem] = True
+                cut_new = in_cut & ~frozen & ~to_freeze
+                diag.frozen_by_cut += int(cut_new.sum())
+                to_freeze |= in_cut & ~frozen
+        if np.isinf(lam):
+            # no constraint ever binds: everyone saturates at caps
+            to_freeze |= ~frozen
+        if not to_freeze.any():
+            # Safety valve: should be unreachable; freeze everything at the
+            # verified-feasible targets rather than looping forever.
+            to_freeze = ~frozen
+        levels[to_freeze & ~frozen] = new_levels[to_freeze & ~frozen]
+        frozen |= to_freeze
+        lam_done = lam_star
+
+    ok, _, _ = feasible(levels)
+    if not ok:  # pragma: no cover - guarded by construction
+        raise RuntimeError("AMF solver produced infeasible levels")
+    return levels
+
+
+def solve_amf(
+    cluster: Cluster,
+    floors: np.ndarray | None = None,
+    diagnostics: AmfDiagnostics | None = None,
+) -> Allocation:
+    """Compute an AMF allocation (aggregates via :func:`amf_levels`, split via max-flow).
+
+    The returned split is *an* AMF allocation; the completion-time add-on
+    (:func:`repro.core.completion.optimize_completion_times`) re-splits the
+    same aggregates to optimize job completion times.
+    """
+    levels = amf_levels(cluster, floors=floors, diagnostics=diagnostics)
+    matrix = _realize(cluster, levels)
+    return Allocation(cluster, matrix, policy="amf" if floors is None else "amf+floors")
+
+
+def _realize(cluster: Cluster, levels: np.ndarray) -> np.ndarray:
+    """Realize aggregate ``levels`` as a feasible job-site matrix via max-flow."""
+    network = build_network(cluster, levels)
+    outcome = network.solve()
+    require(outcome.feasible, "levels are not feasible on this cluster")
+    matrix = network.allocation_matrix()
+    # Rescale rows so each sums to its level exactly, then scrub the
+    # rescaling residue (a row scaled up by the flow-tolerance deficit can
+    # overshoot a demand cap by the same hair).
+    sums = matrix.sum(axis=1)
+    for i in range(cluster.n_jobs):
+        if sums[i] > 0.0 and not feq(sums[i], levels[i]):
+            matrix[i] *= levels[i] / sums[i]
+    return scrub_matrix(cluster, matrix)
+
+
+def amf_levels_bisect(
+    cluster: Cluster,
+    tol: float = 1e-9,
+    diagnostics: AmfDiagnostics | None = None,
+) -> np.ndarray:
+    """Ablation variant: progressive filling with pure binary search.
+
+    Identical freezing rule, but each round's level is located by bisection
+    to ``tol`` instead of the exact cutting-plane proposal.  Kept for the F8
+    ablation ("bottleneck snapping vs binary search") and as an extra
+    cross-check in tests.
+    """
+    n = cluster.n_jobs
+    diag = diagnostics if diagnostics is not None else AmfDiagnostics()
+    if n == 0:
+        return np.zeros(0)
+    caps = cluster.aggregate_demand.copy()
+    weights = cluster.weights
+    network = build_network(cluster)
+    levels = np.zeros(n)
+    frozen = np.zeros(n, dtype=bool)
+
+    def targets_at(lam: float) -> np.ndarray:
+        t = np.minimum(lam * weights, caps)
+        t[frozen] = levels[frozen]
+        return t
+
+    def feasible(targets: np.ndarray) -> tuple[bool, frozenset[int]]:
+        diag.feasibility_solves += 1
+        network.set_targets(targets)
+        outcome = network.solve()
+        return outcome.feasible, outcome.cut_jobs
+
+    lam_lo = 0.0
+    while not frozen.all():
+        diag.rounds += 1
+        hi = float(np.max(caps[~frozen] / weights[~frozen], initial=0.0))
+        ok, _ = feasible(targets_at(hi))
+        if ok:
+            levels[~frozen] = np.minimum(hi * weights, caps)[~frozen]
+            break
+        lo = lam_lo
+        while hi - lo > tol * max(1.0, hi):
+            mid = 0.5 * (lo + hi)
+            ok, _ = feasible(targets_at(mid))
+            if ok:
+                lo = mid
+            else:
+                hi = mid
+        _, cut_jobs = feasible(targets_at(hi))
+        member = np.array(sorted(cut_jobs), dtype=int)
+        freeze = np.zeros(n, dtype=bool)
+        freeze[member] = True
+        freeze |= (~frozen) & (lo * weights >= caps - ABS_TOL)
+        freeze &= ~frozen
+        if not freeze.any():
+            freeze = ~frozen
+        new = targets_at(lo)
+        levels[freeze] = new[freeze]
+        frozen |= freeze
+        lam_lo = lo
+    return levels

@@ -1,0 +1,64 @@
+"""Policy registry: name -> solver, shared by the simulator, CLI and benchmarks.
+
+Every policy is a callable ``Cluster -> Allocation``.  The registry names
+match the labels used in EXPERIMENTS.md:
+
+* ``psmf`` — the paper's baseline (per-site max-min fairness),
+* ``amf`` — Aggregate Max-min Fairness (max-flow split),
+* ``amf-e`` — enhanced AMF (sharing-incentive floors),
+* ``amf-ct`` — AMF + completion-time add-on (uniform-stretch split),
+* ``amf-ct-makespan`` / ``amf-ct-lex`` — add-on variants (ablation T3),
+* ``amf-prop`` — AMF aggregates with the naive proportional split.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.allocation import Allocation
+from repro.core.amf import amf_levels, solve_amf
+from repro.core.completion import optimize_completion_times, proportional_split
+from repro.core.enhanced import sharing_incentive_floors, solve_amf_enhanced
+from repro.core.persite import solve_psmf
+from repro.model.cluster import Cluster
+
+PolicyFn = Callable[[Cluster], Allocation]
+
+
+def _amf_ct(mode: str) -> PolicyFn:
+    def solve(cluster: Cluster) -> Allocation:
+        levels = amf_levels(cluster)
+        return optimize_completion_times(cluster, levels, mode=mode)
+
+    solve.__name__ = f"solve_amf_ct_{mode}"
+    return solve
+
+
+def _amf_e_ct(cluster: Cluster) -> Allocation:
+    levels = amf_levels(cluster, floors=sharing_incentive_floors(cluster))
+    return optimize_completion_times(cluster, levels, mode="stretch", policy_suffix="-e+ct")
+
+
+def _amf_prop(cluster: Cluster) -> Allocation:
+    return proportional_split(cluster, amf_levels(cluster))
+
+
+POLICIES: dict[str, PolicyFn] = {
+    "psmf": solve_psmf,
+    "amf": solve_amf,
+    "amf-e": solve_amf_enhanced,
+    "amf-ct": _amf_ct("stretch"),
+    "amf-ct-quick": _amf_ct("stretch1"),
+    "amf-ct-makespan": _amf_ct("makespan"),
+    "amf-ct-lex": _amf_ct("lexicographic"),
+    "amf-e-ct": _amf_e_ct,
+    "amf-prop": _amf_prop,
+}
+
+
+def get_policy(name: str) -> PolicyFn:
+    """Look up a policy by registry name (raises ``KeyError`` with choices)."""
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; choices: {sorted(POLICIES)}") from None

@@ -1,0 +1,126 @@
+"""Slow, independent reference solver used as a test oracle.
+
+This module recomputes max-min fair aggregates with *none* of the machinery
+the production solver uses: feasibility is decided by ``scipy.optimize.linprog``
+on the raw edge variables (not by our Dinic max-flow), stage levels are
+located by bisection (not by cutting planes), and freezing is decided by
+per-job "can it exceed the level?" LPs (not by min cuts).  Agreement between
+:func:`repro.core.amf.amf_levels` and :func:`reference_levels` on randomized
+instances is therefore strong evidence both are right.
+
+Complexity is ruinous (O(stages * (probes + n) LPs)); keep instances small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro._util import require
+from repro.model.cluster import Cluster
+
+__all__ = ["reference_levels", "reference_feasible"]
+
+
+class _EdgeLP:
+    """LP scaffolding over the support edges of a cluster."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.edges = [(i, j) for i in range(cluster.n_jobs) for j in range(cluster.n_sites) if cluster.support[i, j]]
+        self.n_edges = len(self.edges)
+        caps = cluster.demand_caps
+        self.bounds = [(0.0, float(caps[i, j])) for (i, j) in self.edges]
+        # Site capacity rows: sum of edges into site j <= c_j
+        self.site_rows = np.zeros((cluster.n_sites, self.n_edges))
+        # Job aggregate rows: sum of edges of job i
+        self.job_rows = np.zeros((cluster.n_jobs, self.n_edges))
+        for e, (i, j) in enumerate(self.edges):
+            self.site_rows[j, e] = 1.0
+            self.job_rows[i, e] = 1.0
+
+    def solve(self, requirements: np.ndarray, objective: np.ndarray | None = None):
+        """Feasibility / optimization with per-job aggregate lower bounds.
+
+        Returns the ``scipy`` result; ``success`` is False when infeasible.
+        """
+        A_ub = np.vstack([self.site_rows, -self.job_rows])
+        b_ub = np.concatenate([self.cluster.capacities, -np.asarray(requirements, dtype=float)])
+        c = np.zeros(self.n_edges) if objective is None else objective
+        return linprog(c, A_ub=A_ub, b_ub=b_ub, bounds=self.bounds, method="highs")
+
+    def max_aggregate_of(self, i: int, requirements: np.ndarray):
+        """Maximize job ``i``'s aggregate subject to everyone's requirements."""
+        c = -self.job_rows[i]
+        return self.solve(requirements, objective=c)
+
+
+def reference_feasible(cluster: Cluster, targets: np.ndarray) -> bool:
+    """LP oracle for: do aggregate lower bounds ``targets`` admit an allocation?"""
+    return bool(_EdgeLP(cluster).solve(np.asarray(targets, dtype=float)).success)
+
+
+def reference_levels(
+    cluster: Cluster,
+    floors: np.ndarray | None = None,
+    tol: float = 1e-10,
+) -> np.ndarray:
+    """Max-min fair aggregates by LP bisection + per-job freezing probes.
+
+    Matches the semantics of :func:`repro.core.amf.amf_levels` (weighted,
+    demand-capped, optional floors) to within ``~sqrt(tol)`` per level.
+    """
+    n = cluster.n_jobs
+    if n == 0:
+        return np.zeros(0)
+    lp = _EdgeLP(cluster)
+    caps = cluster.aggregate_demand
+    weights = cluster.weights
+    if floors is None:
+        floors = np.zeros(n)
+    floors = np.minimum(np.asarray(floors, dtype=float), caps)
+    require(bool(lp.solve(floors).success), "floors are infeasible")
+
+    frozen = np.zeros(n, dtype=bool)
+    levels = np.zeros(n)
+
+    def requirements(t: float) -> np.ndarray:
+        req = np.clip(t * weights, floors, caps)
+        req[frozen] = levels[frozen]
+        return req
+
+    t_lo = 0.0
+    stage_guard = 0
+    while not frozen.all():
+        stage_guard += 1
+        if stage_guard > n + 2:  # pragma: no cover - defensive
+            raise RuntimeError("reference solver failed to converge")
+        hi = float(np.max(caps[~frozen] / weights[~frozen], initial=0.0)) + 1.0
+        if lp.solve(requirements(hi)).success:
+            levels[~frozen] = np.clip(hi * weights, floors, caps)[~frozen]
+            break
+        lo = t_lo
+        while hi - lo > tol * max(1.0, hi):
+            mid = 0.5 * (lo + hi)
+            if lp.solve(requirements(mid)).success:
+                lo = mid
+            else:
+                hi = mid
+        t_star = lo
+        req = requirements(t_star)
+        # Freeze every active job that cannot rise above its requirement.
+        probe_tol = max(1e-7, 100.0 * tol)
+        newly = []
+        for i in np.flatnonzero(~frozen):
+            res = lp.max_aggregate_of(i, req)
+            best = -res.fun if res.success else req[i]
+            if best <= req[i] + probe_tol * max(1.0, req[i]):
+                newly.append(i)
+        if not newly:
+            # Numeric corner: freeze the closest-to-binding job to guarantee progress.
+            newly = [int(np.flatnonzero(~frozen)[0])]
+        for i in newly:
+            levels[i] = req[i]
+            frozen[i] = True
+        t_lo = t_star
+    return levels

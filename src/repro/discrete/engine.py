@@ -1,0 +1,255 @@
+"""Event-driven slot scheduler tracking a fluid fairness policy.
+
+The engine keeps, per site, an integral number of slots.  At every event
+(arrival or task completion) it:
+
+1. builds the fluid snapshot of remaining work (task counts become demand
+   caps) and asks the configured policy for fluid shares ``a_ij``;
+2. converts each site's shares into **integral slot targets** by
+   largest-remainder rounding (floor everything, hand leftover slots to
+   the largest fractional remainders);
+3. launches pending tasks non-preemptively: first up to each job's target,
+   then — work-conserving — backfills remaining free slots in
+   largest-deficit-first order.
+
+Running tasks are never killed, so targets act on the margin; as tasks
+finish, assignments drift toward the policy's shares.  With shrinking
+task durations the drift vanishes, which is exactly the fluid-convergence
+claim experiment X6 measures.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import require
+from repro.core.policies import PolicyFn, get_policy
+from repro.discrete.tasks import DiscreteJob
+from repro.model.cluster import Cluster
+from repro.model.job import Job
+from repro.model.site import Site
+from repro.sim.metrics import JobRecord, SimulationResult
+
+
+@dataclass(slots=True)
+class _JobState:
+    job: DiscreteJob
+    pending: dict[str, int]  # site -> tasks not yet started
+    running: dict[str, int]  # site -> tasks currently on slots
+    record: JobRecord
+
+    def done(self) -> bool:
+        return not self.pending and not any(self.running.values())
+
+
+class DiscreteSimulator:
+    """Simulate task-level execution of ``jobs`` on integer-slot ``sites``.
+
+    Parameters
+    ----------
+    sites:
+        Site capacities are interpreted as integral slot counts
+        (``floor``-ed; must be >= 1 after flooring).
+    jobs:
+        :class:`~repro.discrete.tasks.DiscreteJob` instances.
+    policy:
+        Fluid policy (registry name or callable) used for targets.
+    """
+
+    def __init__(self, sites: Sequence[Site], jobs: Sequence[DiscreteJob], policy: str | PolicyFn):
+        self.sites = tuple(sites)
+        self.slot_counts = {s.name: int(s.capacity) for s in self.sites}
+        for name, slots in self.slot_counts.items():
+            require(slots >= 1, f"site {name!r}: needs at least one whole slot (capacity >= 1)")
+        self.jobs = tuple(sorted(jobs, key=lambda j: (j.arrival, j.name)))
+        if isinstance(policy, str):
+            self.policy_name = policy
+            self.policy: PolicyFn = get_policy(policy)
+        else:
+            self.policy_name = getattr(policy, "__name__", "custom")
+            self.policy = policy
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        result = SimulationResult(
+            policy=f"discrete:{self.policy_name}",
+            total_capacity=float(sum(self.slot_counts.values())),
+        )
+        active: dict[str, _JobState] = {}
+        free = dict(self.slot_counts)
+        # (finish_time, seq, job_name, site)
+        completions: list[tuple[float, int, str, str]] = []
+        seq = itertools.count()
+        pending_arrivals = list(self.jobs)
+        next_arrival = 0
+        t = 0.0
+
+        def isolated_time(job: DiscreteJob) -> float:
+            worst = 0.0
+            for site, (count, duration) in job.tasks.items():
+                slots = self.slot_counts[site]
+                waves = int(np.ceil(count / slots))
+                worst = max(worst, waves * duration)
+            return worst
+
+        def admit(now: float) -> None:
+            nonlocal next_arrival
+            while next_arrival < len(pending_arrivals) and pending_arrivals[next_arrival].arrival <= now + 1e-15:
+                job = pending_arrivals[next_arrival]
+                next_arrival += 1
+                rec = JobRecord(
+                    name=job.name,
+                    arrival=job.arrival,
+                    completion=np.inf,
+                    total_work=job.total_work,
+                    isolated_time=isolated_time(job),
+                )
+                result.records.append(rec)
+                active[job.name] = _JobState(
+                    job,
+                    pending={s: c for s, (c, _) in job.tasks.items()},
+                    running={s: 0 for s in job.tasks},
+                    record=rec,
+                )
+                result.n_events += 1
+
+        def launch_tasks(now: float) -> None:
+            """One scheduling pass: fluid shares -> integral targets -> launches."""
+            states = [st for st in active.values() if any(st.pending.values())]
+            if not states or all(v == 0 for v in free.values()):
+                return
+            snapshot, names = self._snapshot(active)
+            if snapshot is None:
+                return
+            alloc = self.policy(snapshot)
+            result.n_policy_solves += 1
+            site_index = {s.name: j for j, s in enumerate(snapshot.sites)}
+            for site, slots in self.slot_counts.items():
+                j = site_index[site]
+                shares = {name: float(alloc.matrix[k, j]) for k, name in enumerate(names)}
+                targets = _largest_remainder(shares, slots)
+                # phase 1: honour targets on the margin (running counts included)
+                order = sorted(targets, key=lambda n: targets[n] - active[n].running.get(site, 0), reverse=True)
+                for name in order:
+                    st = active[name]
+                    want = targets[name] - st.running.get(site, 0)
+                    self._start(st, site, min(want, st.pending.get(site, 0)), free, completions, seq, now)
+                # phase 2: work-conserving backfill, most pending first
+                if free[site] > 0:
+                    backlog = sorted(
+                        (st for st in active.values() if st.pending.get(site, 0) > 0),
+                        key=lambda st: st.pending[site],
+                        reverse=True,
+                    )
+                    for st in backlog:
+                        if free[site] == 0:
+                            break
+                        self._start(st, site, st.pending[site], free, completions, seq, now)
+
+        admit(t)
+        launch_tasks(t)
+        guard = 0
+        max_events = 20 * sum(j.total_tasks for j in self.jobs) + 10 * len(self.jobs) + 100
+        while completions or next_arrival < len(pending_arrivals):
+            guard += 1
+            require(guard <= max_events, "discrete event budget exceeded")
+            t_arrival = pending_arrivals[next_arrival].arrival if next_arrival < len(pending_arrivals) else np.inf
+            t_complete = completions[0][0] if completions else np.inf
+            if t_arrival < t_complete:
+                t = t_arrival
+                admit(t)
+            else:
+                t, _, name, site = heapq.heappop(completions)
+                st = active[name]
+                st.running[site] -= 1
+                free[site] += 1
+                result.n_events += 1
+                if st.done():
+                    st.record.completion = t
+                    del active[name]
+            # drain all simultaneous completions before rescheduling
+            while completions and completions[0][0] <= t + 1e-12:
+                _, _, name2, site2 = heapq.heappop(completions)
+                st2 = active[name2]
+                st2.running[site2] -= 1
+                free[site2] += 1
+                result.n_events += 1
+                if st2.done():
+                    st2.record.completion = t
+                    del active[name2]
+            launch_tasks(t)
+
+        result.horizon = t
+        result.utilization_integral = sum(r.total_work for r in result.records if r.finished)
+        return result
+
+    # ------------------------------------------------------------------
+    def _start(self, st: _JobState, site: str, count: int, free, completions, seq, now: float) -> None:
+        count = min(count, free[site], st.pending.get(site, 0))
+        if count <= 0:
+            return
+        duration = st.job.tasks[site][1]
+        for _ in range(count):
+            heapq.heappush(completions, (now + duration, next(seq), st.job.name, site))
+        st.pending[site] -= count
+        if st.pending[site] == 0:
+            del st.pending[site]
+        st.running[site] = st.running.get(site, 0) + count
+        free[site] -= count
+
+    def _snapshot(self, active: dict[str, _JobState]) -> tuple[Cluster | None, list[str]]:
+        """Fluid cluster of *remaining* work (pending + running tasks)."""
+        names = sorted(active)
+        jobs = []
+        for name in names:
+            st = active[name]
+            workload = {}
+            demand = {}
+            for site, (count, duration) in st.job.tasks.items():
+                remaining = st.pending.get(site, 0) + st.running.get(site, 0)
+                if remaining > 0:
+                    workload[site] = remaining * duration
+                    demand[site] = float(remaining)
+            if workload:
+                jobs.append(Job(name, workload, demand, weight=st.job.weight))
+        if not jobs:
+            return None, []
+        return Cluster(self.sites, jobs), [j.name for j in jobs]
+
+
+def _largest_remainder(shares: dict[str, float], slots: int) -> dict[str, int]:
+    """Round fluid shares to integers summing to at most ``slots``.
+
+    Floors every share, then hands remaining slots to the largest
+    fractional remainders (ties by name for determinism).
+    """
+    floors = {n: int(np.floor(v + 1e-12)) for n, v in shares.items()}
+    used = sum(floors.values())
+    leftover = max(0, slots - used)
+    remainders = sorted(
+        shares,
+        key=lambda n: (shares[n] - floors[n], n),
+        reverse=True,
+    )
+    out = dict(floors)
+    for n in remainders:
+        if leftover == 0:
+            break
+        if shares[n] - floors[n] > 1e-12:
+            out[n] += 1
+            leftover -= 1
+    return out
+
+
+def simulate_discrete(
+    sites: Sequence[Site],
+    jobs: Sequence[DiscreteJob],
+    policy: str | PolicyFn,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`DiscreteSimulator`."""
+    return DiscreteSimulator(sites, jobs, policy).run()

@@ -1,0 +1,25 @@
+"""Flow-network substrate.
+
+A from-scratch maximum-flow engine used by the AMF solver (feasibility of
+aggregate targets), the Pareto-efficiency checker (residual reachability) and
+the completion-time add-on (flows with per-edge lower bounds).
+
+The implementation is Dinic's algorithm over an adjacency-list residual
+graph with float capacities and a global tolerance; see
+:mod:`repro.flownet.dinic`.  ``networkx`` is deliberately *not* used here —
+it serves only as an independent oracle in the test suite.
+"""
+
+from repro.flownet.graph import FlowGraph
+from repro.flownet.dinic import Dinic, MaxFlowResult
+from repro.flownet.mincut import min_cut_partition
+from repro.flownet.lower_bounds import BoundedEdge, feasible_flow_with_lower_bounds
+
+__all__ = [
+    "FlowGraph",
+    "Dinic",
+    "MaxFlowResult",
+    "min_cut_partition",
+    "BoundedEdge",
+    "feasible_flow_with_lower_bounds",
+]

@@ -1,0 +1,151 @@
+"""Job-site feasibility networks.
+
+Every static policy question in this library reduces to flows on the same
+bipartite network::
+
+    SRC --A_i--> job_i --d_ij--> site_j --c_j--> SNK
+
+An aggregate target vector ``A`` is feasible iff the max flow equals
+``sum(A)``; the min cut at an infeasible vector names the binding bottleneck.
+This module owns that network shape so the AMF solver, the Pareto checker
+and the completion-time add-on all agree on node keys and tolerances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import feq
+from repro.flownet.dinic import Dinic
+from repro.flownet.graph import FlowGraph
+from repro.model.cluster import Cluster
+
+SRC = ("src",)
+SNK = ("snk",)
+
+
+def job_key(i: int) -> tuple[str, int]:
+    return ("job", i)
+
+
+def site_key(j: int) -> tuple[str, int]:
+    return ("site", j)
+
+
+@dataclass(slots=True)
+class FeasibilityNetwork:
+    """A reusable job-site network bound to one cluster.
+
+    ``source_edges[i]`` is the edge id of ``SRC -> job_i`` so the AMF solver
+    can sweep target vectors without rebuilding the graph (edge-capacity
+    updates + :meth:`FlowGraph.reset_flow` between solves).
+    """
+
+    cluster: Cluster
+    graph: FlowGraph
+    source_edges: list[int]
+    support_edges: dict[tuple[int, int], int]
+
+    def set_targets(self, targets: np.ndarray) -> None:
+        """Install aggregate targets as source-edge capacities.
+
+        When every target is (weakly) above the currently installed one, the
+        existing flow is *kept* and only residual capacity is added — the
+        subsequent :meth:`solve` then augments incrementally, which is what
+        makes the AMF progressive-filling rounds cheap.  Any decrease forces
+        a full reset.
+        """
+        g = self.graph
+        deltas = [float(targets[i]) - g.capacity_of(eid) for i, eid in enumerate(self.source_edges)]
+        if all(d >= -1e-15 for d in deltas):
+            for eid, d in zip(self.source_edges, deltas):
+                if d > 0.0:
+                    g.increase_capacity(eid, d)
+            return
+        g.reset_flow()
+        for i, eid in enumerate(self.source_edges):
+            g.set_capacity(eid, float(targets[i]))
+
+    def solve(self) -> "FeasibilityOutcome":
+        """Run max-flow against the currently installed targets (incremental)."""
+        result = Dinic(self.graph).max_flow(SRC, SNK)
+        demanded = sum(self.graph._orig_cap[eid] for eid in self.source_edges)
+        delivered = sum(self.graph.edge_flow(eid) for eid in self.source_edges)
+        cut_keys = frozenset(self.graph.key_of(n) for n in result.source_side)
+        scale = max(1.0, float(self.cluster.n_jobs + self.cluster.n_sites))
+        return FeasibilityOutcome(
+            feasible=feq(delivered, demanded, scale=scale),
+            flow_value=delivered,
+            demanded=demanded,
+            cut_jobs=frozenset(k[1] for k in cut_keys if isinstance(k, tuple) and k[0] == "job"),
+            cut_sites=frozenset(k[1] for k in cut_keys if isinstance(k, tuple) and k[0] == "site"),
+        )
+
+    def allocation_matrix(self) -> np.ndarray:
+        """Extract the ``(n, m)`` allocation carried by the current flow."""
+        alloc = np.zeros((self.cluster.n_jobs, self.cluster.n_sites))
+        for (i, j), eid in self.support_edges.items():
+            alloc[i, j] = self.graph.edge_flow(eid)
+        return alloc
+
+
+@dataclass(frozen=True, slots=True)
+class FeasibilityOutcome:
+    """Result of one feasibility solve.
+
+    ``cut_jobs`` / ``cut_sites`` are the job / site indices on the *source
+    side* of the (minimal) min cut.  When the targets are infeasible, the
+    source-side jobs are exactly the bottlenecked ones: their source edges
+    are not cut, so their whole targets must route through the saturated
+    source-side sites plus their saturated demand-cap edges into sink-side
+    sites.  The AMF solver turns that cut into an exact binding equality
+    (see :func:`repro.core.amf.solve_amf`).
+    """
+
+    feasible: bool
+    flow_value: float
+    demanded: float
+    cut_jobs: frozenset[int]
+    cut_sites: frozenset[int]
+
+
+def build_network(cluster: Cluster, targets: np.ndarray | None = None) -> FeasibilityNetwork:
+    """Build the job-site network for ``cluster``.
+
+    ``targets`` default to each job's aggregate demand (i.e. "give everyone
+    everything"), which is what the Pareto checker wants; the AMF solver
+    overwrites them per round via :meth:`FeasibilityNetwork.set_targets`.
+    """
+    g = FlowGraph()
+    g.node(SRC)
+    caps = cluster.demand_caps
+    support = cluster.support
+    if targets is None:
+        targets = cluster.aggregate_demand
+    source_edges = [g.add_edge(SRC, job_key(i), float(targets[i])) for i in range(cluster.n_jobs)]
+    support_edges: dict[tuple[int, int], int] = {}
+    for i in range(cluster.n_jobs):
+        row = support[i]
+        for j in np.flatnonzero(row):
+            support_edges[(i, int(j))] = g.add_edge(job_key(i), site_key(int(j)), float(caps[i, j]))
+    for j in range(cluster.n_sites):
+        g.add_edge(site_key(j), SNK, float(cluster.capacities[j]))
+    return FeasibilityNetwork(cluster, g, source_edges, support_edges)
+
+
+def targets_feasible(cluster: Cluster, targets: np.ndarray) -> bool:
+    """Whether aggregate targets ``targets`` admit a feasible allocation."""
+    net = build_network(cluster, np.asarray(targets, dtype=float))
+    return net.solve().feasible
+
+
+def max_feasible_allocation(cluster: Cluster, targets: np.ndarray) -> np.ndarray:
+    """A flow-maximal allocation attempting ``targets`` (may under-deliver).
+
+    Used to realize an aggregate vector as a concrete job-site split.
+    """
+    net = build_network(cluster, np.asarray(targets, dtype=float))
+    net.solve()
+    return net.allocation_matrix()

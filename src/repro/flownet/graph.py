@@ -1,0 +1,137 @@
+"""Residual flow graph with hashable node keys.
+
+Edges are stored in the classic paired layout: edge ``e`` and its residual
+twin ``e ^ 1`` sit at adjacent indices, so pushing ``f`` units along ``e``
+is ``cap[e] -= f; cap[e ^ 1] += f``.  Capacities are floats; a single
+tolerance (:data:`repro._util.ABS_TOL`) decides which residual edges are
+considered usable, which keeps Dinic's phases terminating despite rounding.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro._util import ABS_TOL, require
+
+INF = float("inf")
+
+
+class FlowGraph:
+    """A directed graph with float capacities, built for max-flow.
+
+    Nodes are arbitrary hashable keys (the solvers use tuples like
+    ``("job", 3)``), mapped internally to dense integer ids.
+    """
+
+    __slots__ = ("_ids", "_keys", "head", "nxt", "to", "cap", "_orig_cap")
+
+    def __init__(self) -> None:
+        self._ids: dict[Hashable, int] = {}
+        self._keys: list[Hashable] = []
+        self.head: list[int] = []  # per-node first edge index (-1 = none)
+        self.nxt: list[int] = []  # per-edge next edge index in the node's list
+        self.to: list[int] = []  # per-edge target node id
+        self.cap: list[float] = []  # per-edge residual capacity
+        self._orig_cap: list[float] = []  # per-edge original capacity
+
+    # ------------------------------------------------------------------
+    def node(self, key: Hashable) -> int:
+        """Return the integer id for ``key``, creating the node if needed."""
+        nid = self._ids.get(key)
+        if nid is None:
+            nid = len(self._keys)
+            self._ids[key] = nid
+            self._keys.append(key)
+            self.head.append(-1)
+        return nid
+
+    def key_of(self, nid: int) -> Hashable:
+        return self._keys[nid]
+
+    def has_node(self, key: Hashable) -> bool:
+        return key in self._ids
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._keys)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed edges added (residual twins not counted)."""
+        return len(self.to) // 2
+
+    # ------------------------------------------------------------------
+    def add_edge(self, u: Hashable, v: Hashable, capacity: float) -> int:
+        """Add a directed edge ``u -> v``; returns its edge index.
+
+        The residual twin (capacity 0) is created automatically at index
+        ``e ^ 1``.  ``capacity`` may be ``inf``.
+        """
+        require(capacity >= 0.0, f"edge capacity must be non-negative, got {capacity}")
+        ui, vi = self.node(u), self.node(v)
+        e = len(self.to)
+        # forward edge
+        self.to.append(vi)
+        self.cap.append(capacity)
+        self._orig_cap.append(capacity)
+        self.nxt.append(self.head[ui])
+        self.head[ui] = e
+        # residual twin
+        self.to.append(ui)
+        self.cap.append(0.0)
+        self._orig_cap.append(0.0)
+        self.nxt.append(self.head[vi])
+        self.head[vi] = e + 1
+        return e
+
+    def edge_flow(self, e: int) -> float:
+        """Current flow on forward edge ``e`` (clamped into ``[0, cap]``)."""
+        f = self.cap[e ^ 1] - self._orig_cap[e ^ 1]
+        if f < 0.0:
+            return 0.0
+        orig = self._orig_cap[e]
+        return min(f, orig) if orig != INF else f
+
+    def residual(self, e: int) -> float:
+        return self.cap[e]
+
+    def usable(self, e: int) -> bool:
+        """Whether edge ``e`` has residual capacity beyond tolerance."""
+        return self.cap[e] > ABS_TOL
+
+    def out_edges(self, nid: int) -> Iterator[int]:
+        """Iterate edge indices (forward and residual) leaving node ``nid``."""
+        e = self.head[nid]
+        while e != -1:
+            yield e
+            e = self.nxt[e]
+
+    def reset_flow(self) -> None:
+        """Restore all residual capacities to the original capacities."""
+        self.cap[:] = self._orig_cap[:]
+
+    def set_capacity(self, e: int, capacity: float) -> None:
+        """Re-set the capacity of forward edge ``e``, discarding its flow.
+
+        Only valid between solves (callers must :meth:`reset_flow` first or
+        accept that existing flow is wiped on this edge pair).
+        """
+        require(capacity >= 0.0, "capacity must be non-negative")
+        self.cap[e] = capacity
+        self._orig_cap[e] = capacity
+        self.cap[e ^ 1] = 0.0
+        self._orig_cap[e ^ 1] = 0.0
+
+    def capacity_of(self, e: int) -> float:
+        """Original capacity of forward edge ``e``."""
+        return self._orig_cap[e]
+
+    def increase_capacity(self, e: int, delta: float) -> None:
+        """Raise the capacity of forward edge ``e`` by ``delta``, keeping its flow.
+
+        Safe mid-solve: raising capacity only adds residual, so any current
+        flow remains feasible and max-flow can continue incrementally.
+        """
+        require(delta >= 0.0, "capacity increase must be non-negative")
+        self.cap[e] += delta
+        self._orig_cap[e] += delta

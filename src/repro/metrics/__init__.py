@@ -1,0 +1,17 @@
+"""Allocation-quality metrics (balance, fairness, completion-time summaries)."""
+
+from repro.metrics.fairness import (
+    jain_index,
+    coefficient_of_variation,
+    min_max_ratio,
+    balance_report,
+    BalanceReport,
+)
+
+__all__ = [
+    "jain_index",
+    "coefficient_of_variation",
+    "min_max_ratio",
+    "balance_report",
+    "BalanceReport",
+]

@@ -1,0 +1,15 @@
+"""System model: jobs, sites and multi-site cluster instances.
+
+The model layer is the substrate every policy in :mod:`repro.core` operates
+on.  A :class:`~repro.model.cluster.Cluster` is an immutable snapshot of the
+world: site capacities, per-job workload distributions (how much work each
+job has pinned at each site) and per-job demand caps (how fast each job can
+usefully consume resource at each site).
+"""
+
+from repro.model.job import Job
+from repro.model.site import Site
+from repro.model.cluster import Cluster
+from repro.model.validation import validate_instance
+
+__all__ = ["Job", "Site", "Cluster", "validate_instance"]

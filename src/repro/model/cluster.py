@@ -1,0 +1,252 @@
+"""Cluster: an immutable snapshot of jobs and sites, with array views.
+
+All solvers in :mod:`repro.core` consume a :class:`Cluster` and operate on
+its dense NumPy views (capacities, workload matrix, effective demand caps).
+The views are computed once and cached — the guides' "views, not copies"
+advice applied at the model boundary.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro._util import as_float_array, as_float_matrix, nonneg, require
+from repro.model.job import Job
+from repro.model.site import Site
+
+
+class Cluster:
+    """An allocation instance: ``m`` sites and ``n`` jobs with pinned work.
+
+    The class is intentionally immutable: every mutation helper
+    (:meth:`without_job`, :meth:`with_job`, :meth:`replace_job`) returns a new
+    instance, which keeps the strategy-proofness / sharing-incentive probes
+    honest (they compare allocations across *independent* instances).
+    """
+
+    def __init__(self, sites: Sequence[Site], jobs: Sequence[Job]):
+        sites = tuple(sites)
+        jobs = tuple(jobs)
+        require(len(sites) > 0, "cluster needs at least one site")
+        site_names = [s.name for s in sites]
+        require(len(set(site_names)) == len(site_names), "site names must be unique")
+        job_names = [j.name for j in jobs]
+        require(len(set(job_names)) == len(job_names), "job names must be unique")
+        known = set(site_names)
+        for job in jobs:
+            unknown = set(job.workload) - known
+            require(not unknown, f"job {job.name!r} references unknown sites {sorted(unknown)}")
+        self._sites = sites
+        self._jobs = jobs
+        self._site_index = {name: k for k, name in enumerate(site_names)}
+        self._job_index = {name: k for k, name in enumerate(job_names)}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def sites(self) -> tuple[Site, ...]:
+        return self._sites
+
+    @property
+    def jobs(self) -> tuple[Job, ...]:
+        return self._jobs
+
+    @property
+    def n_sites(self) -> int:
+        return len(self._sites)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self._jobs)
+
+    def site_index(self, name: str) -> int:
+        return self._site_index[name]
+
+    def job_index(self, name: str) -> int:
+        return self._job_index[name]
+
+    def job(self, name: str) -> Job:
+        return self._jobs[self._job_index[name]]
+
+    def site(self, name: str) -> Site:
+        return self._sites[self._site_index[name]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cluster(n_jobs={self.n_jobs}, n_sites={self.n_sites}, total_capacity={self.total_capacity:g})"
+
+    # ------------------------------------------------------------------
+    # Dense views (cached)
+    # ------------------------------------------------------------------
+    @cached_property
+    def capacities(self) -> np.ndarray:
+        """``(m,)`` site capacities."""
+        arr = np.array([s.capacity for s in self._sites], dtype=float)
+        arr.flags.writeable = False
+        return arr
+
+    @cached_property
+    def weights(self) -> np.ndarray:
+        """``(n,)`` fairness weights."""
+        arr = np.array([j.weight for j in self._jobs], dtype=float)
+        arr.flags.writeable = False
+        return arr
+
+    @cached_property
+    def workloads(self) -> np.ndarray:
+        """``(n, m)`` workload matrix ``W``; ``W[i, j] > 0`` iff job ``i`` has work at site ``j``."""
+        mat = np.zeros((self.n_jobs, self.n_sites), dtype=float)
+        for i, job in enumerate(self._jobs):
+            for site, work in job.workload.items():
+                mat[i, self._site_index[site]] = work
+        mat.flags.writeable = False
+        return mat
+
+    @cached_property
+    def support(self) -> np.ndarray:
+        """``(n, m)`` boolean support mask (where each job may receive resource)."""
+        mask = self.workloads > 0.0
+        mask.flags.writeable = False
+        return mask
+
+    @cached_property
+    def demand_caps(self) -> np.ndarray:
+        """``(n, m)`` *effective* per-edge demand caps.
+
+        ``inf``/missing caps are clipped to the site capacity (a job can never
+        usefully hold more than the whole site), and entries outside the
+        support are 0.  Solvers therefore only ever need this matrix.
+        """
+        caps = np.zeros((self.n_jobs, self.n_sites), dtype=float)
+        for i, job in enumerate(self._jobs):
+            for site in job.workload:
+                j = self._site_index[site]
+                caps[i, j] = min(job.demand_at(site), self._sites[j].capacity)
+        caps.flags.writeable = False
+        return caps
+
+    @cached_property
+    def aggregate_demand(self) -> np.ndarray:
+        """``(n,)`` per-job aggregate demand cap (sum of effective edge caps)."""
+        arr = self.demand_caps.sum(axis=1)
+        arr.flags.writeable = False
+        return arr
+
+    @property
+    def total_capacity(self) -> float:
+        return float(self.capacities.sum())
+
+    # ------------------------------------------------------------------
+    # Derived instances
+    # ------------------------------------------------------------------
+    def without_job(self, name: str) -> "Cluster":
+        """New cluster with job ``name`` removed."""
+        require(name in self._job_index, f"unknown job {name!r}")
+        return Cluster(self._sites, tuple(j for j in self._jobs if j.name != name))
+
+    def with_job(self, job: Job) -> "Cluster":
+        """New cluster with ``job`` appended."""
+        return Cluster(self._sites, (*self._jobs, job))
+
+    def replace_job(self, job: Job) -> "Cluster":
+        """New cluster where the job with the same name is replaced by ``job``."""
+        require(job.name in self._job_index, f"unknown job {job.name!r}")
+        return Cluster(self._sites, tuple(job if j.name == job.name else j for j in self._jobs))
+
+    def restricted_to_jobs(self, names: Iterable[str]) -> "Cluster":
+        """New cluster keeping only the named jobs (order preserved)."""
+        keep = set(names)
+        unknown = keep - set(self._job_index)
+        require(not unknown, f"unknown jobs {sorted(unknown)}")
+        return Cluster(self._sites, tuple(j for j in self._jobs if j.name in keep))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_matrices(
+        cls,
+        capacities: Sequence[float] | np.ndarray,
+        workloads,
+        demand_caps=None,
+        weights: Sequence[float] | np.ndarray | None = None,
+        site_names: Sequence[str] | None = None,
+        job_names: Sequence[str] | None = None,
+    ) -> "Cluster":
+        """Build a cluster from dense arrays.
+
+        Parameters
+        ----------
+        capacities:
+            ``(m,)`` positive site capacities.
+        workloads:
+            ``(n, m)`` non-negative workload matrix; each row must have at
+            least one positive entry.
+        demand_caps:
+            Optional ``(n, m)`` per-edge rate caps.  ``inf`` (or omitted)
+            means "capped only by the site".  Caps outside the workload
+            support are ignored.
+        weights:
+            Optional ``(n,)`` fairness weights (default all-ones).
+        site_names / job_names:
+            Optional identifiers (defaults ``s0..`` / ``j0..``).
+        """
+        cap = nonneg(as_float_array(capacities, "capacities"), "capacities")
+        W = nonneg(as_float_matrix(workloads, "workloads"), "workloads")
+        n, m = W.shape
+        require(cap.shape == (m,), f"capacities shape {cap.shape} incompatible with workloads {W.shape}")
+        if site_names is None:
+            site_names = [f"s{j}" for j in range(m)]
+        if job_names is None:
+            job_names = [f"j{i}" for i in range(n)]
+        require(len(site_names) == m, "site_names length mismatch")
+        require(len(job_names) == n, "job_names length mismatch")
+        if weights is None:
+            wts = np.ones(n)
+        else:
+            wts = as_float_array(weights, "weights")
+            require(wts.shape == (n,), "weights length mismatch")
+        if demand_caps is not None:
+            D = np.asarray(demand_caps, dtype=float)
+            require(D.shape == (n, m), f"demand_caps shape {D.shape} != workloads shape {W.shape}")
+            require(not bool(np.isnan(D).any()), "demand_caps must not contain NaN")
+            require(float(np.where(np.isinf(D), 0.0, D).min(initial=0.0)) >= 0.0, "demand_caps must be non-negative")
+
+        sites = [Site(site_names[j], float(cap[j])) for j in range(m)]
+        jobs = []
+        for i in range(n):
+            workload: dict[str, float] = {}
+            demand: dict[str, float] = {}
+            for j in range(m):
+                if W[i, j] > 0.0:
+                    workload[site_names[j]] = float(W[i, j])
+                    if demand_caps is not None and np.isfinite(D[i, j]):
+                        demand[site_names[j]] = float(D[i, j])
+            jobs.append(Job(job_names[i], workload, demand, weight=float(wts[i])))
+        return cls(sites, jobs)
+
+    @classmethod
+    def uniform(cls, n_jobs: int, n_sites: int, capacity: float = 1.0, work: float = 1.0) -> "Cluster":
+        """Convenience: every job has equal work at every site (no caps)."""
+        W = np.full((n_jobs, n_sites), work, dtype=float)
+        return cls.from_matrices(np.full(n_sites, capacity), W)
+
+    # ------------------------------------------------------------------
+    # Reference shares
+    # ------------------------------------------------------------------
+    def equal_partition_entitlements(self) -> np.ndarray:
+        """``(n,)`` equal-partition entitlements ``E_i`` (sharing-incentive bar).
+
+        ``E_i = sum over the job's support of min(w_i / sum_k(w_k) * c_j, d_ij)``:
+        each site is split among **all** ``n`` jobs in proportion to their
+        fairness weights, and a job can bank at most its demand cap at each
+        site of its support.  This is what job ``i`` is guaranteed if it
+        refuses to share and runs in a static 1/n partition of every site.
+        """
+        wshare = self.weights / self.weights.sum()
+        per_site = np.outer(wshare, self.capacities)  # (n, m) equal split
+        banked = np.minimum(per_site, self.demand_caps)
+        return np.where(self.support, banked, 0.0).sum(axis=1)

@@ -1,0 +1,104 @@
+"""Job: a distributed computation with work pinned at multiple sites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro._util import require
+
+
+def _frozen_mapping(values: Mapping[str, float], name: str, *, allow_zero: bool) -> Mapping[str, float]:
+    out: dict[str, float] = {}
+    for key, value in values.items():
+        require(bool(key), f"{name}: site names must be non-empty")
+        fval = float(value)
+        require(fval >= 0.0, f"{name}[{key!r}] must be non-negative, got {fval}")
+        if fval > 0.0 or allow_zero:
+            out[key] = fval
+    return MappingProxyType(out)
+
+
+@dataclass(frozen=True)
+class Job:
+    """A job requiring distributed execution across sites.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a cluster.
+    workload:
+        ``{site_name: work}`` — the amount of work (task-seconds) the job
+        must execute at each site, pinned there by data locality.  Zero
+        entries are dropped; the remaining keys form the job's *support*.
+    demand:
+        Optional ``{site_name: rate}`` — the maximum rate at which the job
+        can usefully consume resource at a site (its runnable parallelism
+        there).  Sites absent from ``demand`` are uncapped (bounded only by
+        site capacity).  Demand caps are what make the sharing-incentive
+        property non-trivial for AMF (see DESIGN.md §3.2).
+    weight:
+        Fairness weight; progressive filling equalizes ``A_i / weight``.
+        Defaults to 1 (the unweighted fairness of the paper).
+    arrival:
+        Arrival time for dynamic simulation; ignored by static solvers.
+    """
+
+    name: str
+    workload: Mapping[str, float]
+    demand: Mapping[str, float] = field(default_factory=dict)
+    weight: float = 1.0
+    arrival: float = 0.0
+
+    def __post_init__(self) -> None:
+        require(bool(self.name), "job name must be non-empty")
+        require(self.weight > 0.0, f"job {self.name!r}: weight must be positive, got {self.weight}")
+        require(self.arrival >= 0.0, f"job {self.name!r}: arrival must be non-negative")
+        workload = _frozen_mapping(self.workload, f"job {self.name!r} workload", allow_zero=False)
+        require(len(workload) > 0, f"job {self.name!r}: workload must be positive at >= 1 site")
+        object.__setattr__(self, "workload", workload)
+        demand = _frozen_mapping(self.demand, f"job {self.name!r} demand", allow_zero=True)
+        for site in demand:
+            require(site in workload, f"job {self.name!r}: demand cap at {site!r} without workload there")
+        object.__setattr__(self, "demand", demand)
+
+    @property
+    def support(self) -> frozenset[str]:
+        """Names of the sites where this job has work."""
+        return frozenset(self.workload)
+
+    @property
+    def total_work(self) -> float:
+        """Total work across all sites."""
+        return sum(self.workload.values())
+
+    def demand_at(self, site: str, default: float = float("inf")) -> float:
+        """Demand cap at ``site`` (``default`` when uncapped)."""
+        if site not in self.workload:
+            return 0.0
+        return self.demand.get(site, default)
+
+    def with_workload(self, workload: Mapping[str, float], demand: Mapping[str, float] | None = None) -> "Job":
+        """Return a copy with a different workload distribution.
+
+        Used by the strategy-proofness prober, which explores misreports.
+        """
+        return Job(
+            name=self.name,
+            workload=dict(workload),
+            demand=dict(self.demand if demand is None else demand),
+            weight=self.weight,
+            arrival=self.arrival,
+        )
+
+    def scaled(self, factor: float) -> "Job":
+        """Return a copy with workload (not demand) multiplied by ``factor``."""
+        require(factor > 0.0, "scale factor must be positive")
+        return Job(
+            name=self.name,
+            workload={s: w * factor for s, w in self.workload.items()},
+            demand=dict(self.demand),
+            weight=self.weight,
+            arrival=self.arrival,
+        )

@@ -1,0 +1,126 @@
+"""JSON (de)serialization of clusters, jobs and allocations.
+
+A downstream user needs to persist instances and results: experiment
+configs live in version control, allocations get shipped to dashboards.
+The format is a plain JSON object (versioned with ``"format"``), stable
+across library versions:
+
+.. code-block:: json
+
+    {
+      "format": "repro-cluster-v1",
+      "sites": [{"name": "east", "capacity": 10.0}],
+      "jobs": [
+        {"name": "j0", "workload": {"east": 5.0},
+         "demand": {"east": 1.0}, "weight": 1.0, "arrival": 0.0}
+      ]
+    }
+
+``inf`` demand caps are simply omitted (absent = uncapped), so the files
+stay valid strict JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro._util import require
+from repro.core.allocation import Allocation
+from repro.model.cluster import Cluster
+from repro.model.job import Job
+from repro.model.site import Site
+
+CLUSTER_FORMAT = "repro-cluster-v1"
+ALLOCATION_FORMAT = "repro-allocation-v1"
+
+
+# ----------------------------------------------------------------------
+# Cluster
+# ----------------------------------------------------------------------
+
+
+def cluster_to_dict(cluster: Cluster) -> dict[str, Any]:
+    """Serialize a cluster to a JSON-compatible dict."""
+    return {
+        "format": CLUSTER_FORMAT,
+        "sites": [
+            {"name": s.name, "capacity": s.capacity, **({"tags": list(s.tags)} if s.tags else {})}
+            for s in cluster.sites
+        ],
+        "jobs": [
+            {
+                "name": j.name,
+                "workload": dict(j.workload),
+                **({"demand": dict(j.demand)} if j.demand else {}),
+                **({"weight": j.weight} if j.weight != 1.0 else {}),
+                **({"arrival": j.arrival} if j.arrival != 0.0 else {}),
+            }
+            for j in cluster.jobs
+        ],
+    }
+
+
+def cluster_from_dict(data: dict[str, Any]) -> Cluster:
+    """Rebuild a cluster from :func:`cluster_to_dict` output."""
+    require(data.get("format") == CLUSTER_FORMAT, f"unsupported cluster format {data.get('format')!r}")
+    sites = [Site(s["name"], float(s["capacity"]), tuple(s.get("tags", ()))) for s in data["sites"]]
+    jobs = [
+        Job(
+            j["name"],
+            {k: float(v) for k, v in j["workload"].items()},
+            {k: float(v) for k, v in j.get("demand", {}).items()},
+            weight=float(j.get("weight", 1.0)),
+            arrival=float(j.get("arrival", 0.0)),
+        )
+        for j in data["jobs"]
+    ]
+    return Cluster(sites, jobs)
+
+
+def save_cluster(cluster: Cluster, path: str | Path) -> None:
+    """Write a cluster to a JSON file."""
+    Path(path).write_text(json.dumps(cluster_to_dict(cluster), indent=2))
+
+
+def load_cluster(path: str | Path) -> Cluster:
+    """Read a cluster from a JSON file."""
+    return cluster_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Allocation
+# ----------------------------------------------------------------------
+
+
+def allocation_to_dict(alloc: Allocation) -> dict[str, Any]:
+    """Serialize an allocation (with its cluster) to a JSON-compatible dict."""
+    return {
+        "format": ALLOCATION_FORMAT,
+        "policy": alloc.policy,
+        "cluster": cluster_to_dict(alloc.cluster),
+        "matrix": [[float(x) for x in row] for row in alloc.matrix],
+    }
+
+
+def allocation_from_dict(data: dict[str, Any]) -> Allocation:
+    """Rebuild an allocation; re-validates every invariant on load."""
+    require(
+        data.get("format") == ALLOCATION_FORMAT,
+        f"unsupported allocation format {data.get('format')!r}",
+    )
+    cluster = cluster_from_dict(data["cluster"])
+    return Allocation(cluster, np.asarray(data["matrix"], dtype=float), policy=data.get("policy", "loaded"))
+
+
+def save_allocation(alloc: Allocation, path: str | Path) -> None:
+    """Write an allocation (with its cluster) to a JSON file."""
+    Path(path).write_text(json.dumps(allocation_to_dict(alloc), indent=2))
+
+
+def load_allocation(path: str | Path) -> Allocation:
+    """Read an allocation from a JSON file (invariants re-checked)."""
+    return allocation_from_dict(json.loads(Path(path).read_text()))

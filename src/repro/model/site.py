@@ -1,0 +1,37 @@
+"""Site: one machine cluster / datacenter offering a congestible resource."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import require
+
+
+@dataclass(frozen=True, slots=True)
+class Site:
+    """A resource site (machine cluster or datacenter).
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, unique within a cluster.
+    capacity:
+        Amount of the congestible resource the site offers (e.g. slots).
+        Must be strictly positive.
+    tags:
+        Optional free-form labels (region, tier, ...) carried through to
+        traces and reports; they never affect allocation.
+    """
+
+    name: str
+    capacity: float
+    tags: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        require(bool(self.name), "site name must be non-empty")
+        require(self.capacity > 0.0, f"site {self.name!r}: capacity must be positive, got {self.capacity}")
+
+    def scaled(self, factor: float) -> "Site":
+        """Return a copy of this site with capacity multiplied by ``factor``."""
+        require(factor > 0.0, "scale factor must be positive")
+        return Site(self.name, self.capacity * factor, self.tags)

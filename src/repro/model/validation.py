@@ -1,0 +1,92 @@
+"""Instance-level validation and diagnostics.
+
+:func:`validate_instance` performs the cross-cutting checks that the
+constructors of :class:`~repro.model.job.Job` / :class:`~repro.model.site.Site`
+cannot do alone (they only see one entity), and returns a structured report
+that the CLI and the workload generators surface to users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.cluster import Cluster
+
+
+@dataclass(slots=True)
+class InstanceReport:
+    """Diagnostics for a cluster instance.
+
+    ``ok`` is False only for *hard* problems (currently none beyond what the
+    constructors reject); ``warnings`` flag soft issues that commonly indicate
+    a mis-built workload (dead sites, starved jobs, trivially uncontended
+    instances).
+    """
+
+    ok: bool = True
+    warnings: list[str] = field(default_factory=list)
+    n_jobs: int = 0
+    n_sites: int = 0
+    total_capacity: float = 0.0
+    total_demand: float = 0.0
+    contention_ratio: float = 0.0
+    skew_gini: float = 0.0
+
+    def __str__(self) -> str:
+        lines = [
+            f"instance: {self.n_jobs} jobs x {self.n_sites} sites",
+            f"  capacity={self.total_capacity:g} demand={self.total_demand:g} "
+            f"contention={self.contention_ratio:.3f} workload-gini={self.skew_gini:.3f}",
+        ]
+        lines.extend(f"  warning: {w}" for w in self.warnings)
+        return "\n".join(lines)
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative vector (0 = equal, ->1 = concentrated)."""
+    v = np.sort(np.asarray(values, dtype=float))
+    if v.size == 0 or v.sum() <= 0.0:
+        return 0.0
+    n = v.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * v).sum() / (n * v.sum())) - (n + 1.0) / n)
+
+
+def validate_instance(cluster: Cluster) -> InstanceReport:
+    """Validate a cluster and compute summary diagnostics.
+
+    Soft warnings:
+
+    * a site no job has work at (dead capacity),
+    * a job whose aggregate demand cap is zero (cannot make progress),
+    * total demand below total capacity (no contention anywhere — every
+      policy coincides, so a fairness comparison is vacuous),
+    * a job whose support is every site with zero workload skew everywhere
+      (the per-site baseline and AMF coincide for such instances).
+    """
+    report = InstanceReport(
+        n_jobs=cluster.n_jobs,
+        n_sites=cluster.n_sites,
+        total_capacity=cluster.total_capacity,
+        total_demand=float(cluster.aggregate_demand.sum()),
+    )
+    report.contention_ratio = report.total_demand / report.total_capacity if report.total_capacity else 0.0
+    # Per-site workload shares drive the skew diagnostic.
+    site_work = cluster.workloads.sum(axis=0)
+    report.skew_gini = gini(site_work)
+
+    used = cluster.support.any(axis=0)
+    for j, site in enumerate(cluster.sites):
+        if not used[j]:
+            report.warnings.append(f"site {site.name!r} has no workload from any job")
+    for i, job in enumerate(cluster.jobs):
+        if cluster.aggregate_demand[i] <= 0.0:
+            report.warnings.append(f"job {job.name!r} has zero aggregate demand cap (all caps zero)")
+    if report.contention_ratio < 1.0:
+        report.warnings.append(
+            f"total demand ({report.total_demand:g}) below capacity ({report.total_capacity:g}): "
+            "instance is uncontended; all fair policies coincide"
+        )
+    return report

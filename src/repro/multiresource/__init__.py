@@ -1,0 +1,27 @@
+"""Multi-resource extension: AMF meets Dominant Resource Fairness.
+
+The paper's model has one congestible resource per site; production
+schedulers allocate vectors (CPU, memory, ...).  This package implements
+the natural future-work extension the paper points toward:
+
+* :mod:`repro.multiresource.model` — sites with capacity vectors, jobs
+  with per-task demand vectors and site-pinned task counts,
+* :mod:`repro.multiresource.persite` — the per-site **DRF** baseline
+  (Ghodsi et al.'s dominant-resource fairness, run independently at every
+  site),
+* :mod:`repro.multiresource.aggregate` — **AMRF**: max-min fairness over
+  each job's *aggregate dominant share* across all sites — the
+  multi-resource analogue of the paper's AMF (feasibility is an LP rather
+  than a max-flow, so the solver uses bisection progressive filling with
+  per-job freezing probes, mirroring :mod:`repro.core.reference`).
+
+Experiment X7 compares the two on dominant-share balance under skew; the
+single-resource specialization collapses to AMF/PSMF and is cross-checked
+against the flow solvers in the tests.
+"""
+
+from repro.multiresource.model import MRCluster, MRJob, MRSite
+from repro.multiresource.persite import solve_persite_drf
+from repro.multiresource.aggregate import solve_amrf, amrf_shares
+
+__all__ = ["MRSite", "MRJob", "MRCluster", "solve_persite_drf", "solve_amrf", "amrf_shares"]

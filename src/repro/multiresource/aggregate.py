@@ -1,0 +1,131 @@
+"""AMRF — Aggregate Multi-Resource Fairness (the AMF analogue for vectors).
+
+Max-min fairness over each job's **aggregate dominant share**
+``s_i = (Σ_j x_ij) * max_r r_ir / C_r``.  Unlike the single-resource case,
+the feasible region of share vectors is a general polytope (per-site,
+per-resource linear constraints), not a flow polytope, so feasibility is
+decided by an LP (``scipy.optimize.linprog``) and progressive filling uses
+bisection with per-job freezing probes — the same trustworthy-but-slow
+architecture as :mod:`repro.core.reference`.  Intended scale: tens of
+jobs (it is an extension study, not the inner loop of a simulator).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro._util import require
+from repro.multiresource.model import MRCluster
+
+__all__ = ["amrf_shares", "solve_amrf"]
+
+
+class _RateLP:
+    """LP scaffolding over the support task-rate variables ``x_ij``."""
+
+    def __init__(self, cluster: MRCluster):
+        self.cluster = cluster
+        caps = cluster.task_caps
+        self.edges = [(i, j) for i in range(cluster.n_jobs) for j in range(cluster.n_sites) if caps[i, j] > 0]
+        self.bounds = [(0.0, float(caps[i, j])) for (i, j) in self.edges]
+        n_e = len(self.edges)
+        # site-resource capacity rows
+        rows = []
+        rhs = []
+        for j in range(cluster.n_sites):
+            for r in range(cluster.n_resources):
+                row = np.zeros(n_e)
+                for e, (i, je) in enumerate(self.edges):
+                    if je == j:
+                        row[e] = cluster.demand_matrix[i, r]
+                if row.any():
+                    rows.append(row)
+                    rhs.append(cluster.capacity_matrix[j, r])
+        self.cap_rows = np.array(rows) if rows else np.zeros((0, n_e))
+        self.cap_rhs = np.array(rhs)
+        # per-job aggregate dominant-share rows
+        dom = cluster.global_dominant_factor()
+        self.share_rows = np.zeros((cluster.n_jobs, n_e))
+        for e, (i, j) in enumerate(self.edges):
+            self.share_rows[i, e] = dom[i]
+
+    def solve(self, share_floor: np.ndarray, objective: np.ndarray | None = None):
+        A_ub = np.vstack([self.cap_rows, -self.share_rows])
+        b_ub = np.concatenate([self.cap_rhs, -np.asarray(share_floor, dtype=float)])
+        c = np.zeros(len(self.edges)) if objective is None else objective
+        return linprog(c, A_ub=A_ub, b_ub=b_ub, bounds=self.bounds, method="highs")
+
+    def max_share_of(self, i: int, share_floor: np.ndarray):
+        return self.solve(share_floor, objective=-self.share_rows[i])
+
+    def rates_from(self, x: np.ndarray) -> np.ndarray:
+        rates = np.zeros((self.cluster.n_jobs, self.cluster.n_sites))
+        for e, (i, j) in enumerate(self.edges):
+            rates[i, j] = x[e]
+        return rates
+
+
+def _share_caps(cluster: MRCluster) -> np.ndarray:
+    """Per-job upper bound on the aggregate dominant share (task caps alone)."""
+    dom = cluster.global_dominant_factor()
+    return cluster.task_caps.sum(axis=1) * dom
+
+
+def amrf_shares(cluster: MRCluster, tol: float = 1e-9) -> np.ndarray:
+    """The AMRF aggregate dominant-share vector (weighted max-min fair)."""
+    n = cluster.n_jobs
+    if n == 0:
+        return np.zeros(0)
+    lp = _RateLP(cluster)
+    caps = _share_caps(cluster)
+    weights = cluster.weights
+    frozen = np.zeros(n, dtype=bool)
+    shares = np.zeros(n)
+
+    def floor_at(t: float) -> np.ndarray:
+        req = np.minimum(t * weights, caps)
+        req[frozen] = shares[frozen]
+        return req
+
+    t_lo = 0.0
+    for _stage in range(n + 1):
+        if frozen.all():
+            break
+        hi = float(np.max(caps[~frozen] / weights[~frozen], initial=0.0)) + 1.0
+        if lp.solve(floor_at(hi)).success:
+            shares[~frozen] = np.minimum(hi * weights, caps)[~frozen]
+            break
+        lo = t_lo
+        while hi - lo > tol * max(1.0, hi):
+            mid = 0.5 * (lo + hi)
+            if lp.solve(floor_at(mid)).success:
+                lo = mid
+            else:
+                hi = mid
+        req = floor_at(lo)
+        probe_tol = max(1e-7, 100.0 * tol)
+        newly = []
+        for i in np.flatnonzero(~frozen):
+            res = lp.max_share_of(i, req)
+            best = -res.fun if res.success else req[i]
+            if best <= req[i] + probe_tol * max(1.0, req[i]):
+                newly.append(i)
+        if not newly:
+            newly = [int(np.flatnonzero(~frozen)[0])]
+        for i in newly:
+            shares[i] = req[i]
+            frozen[i] = True
+        t_lo = lo
+    return shares
+
+
+def solve_amrf(cluster: MRCluster, tol: float = 1e-9) -> np.ndarray:
+    """``(n, m)`` task rates realizing the AMRF shares (one feasible witness)."""
+    shares = amrf_shares(cluster, tol=tol)
+    lp = _RateLP(cluster)
+    res = lp.solve(shares * (1.0 - 1e-9))
+    require(res.success, "AMRF shares could not be realized (numeric breakdown)")
+    rates = lp.rates_from(res.x)
+    cluster.validate_rates(rates)
+    return rates

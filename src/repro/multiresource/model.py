@@ -1,0 +1,158 @@
+"""Multi-resource system model.
+
+Notation (extends DESIGN.md §1): ``R`` resource types; site ``j`` offers a
+capacity vector ``c_j ∈ R_+^R``; each *task* of job ``i`` consumes the
+demand vector ``r_i`` (identical across sites, the standard DRF
+assumption); job ``i`` can run at most ``N_ij`` simultaneous tasks at site
+``j`` (its runnable work there — the multi-resource demand cap).  A fluid
+allocation assigns task rates ``x_ij ≥ 0``.
+
+Dominant shares:
+
+* **global** (used by AMRF): ``s_i = X_i * max_r r_ir / C_r`` where
+  ``X_i = Σ_j x_ij`` and ``C_r = Σ_j c_jr`` — the fraction of the
+  federation's scarcest-for-i resource the job holds in aggregate;
+* **local** (used by per-site DRF): the same with site-``j`` capacities.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro._util import require
+
+
+class MRSite:
+    """A site with a vector of resource capacities."""
+
+    def __init__(self, name: str, capacities: Mapping[str, float]):
+        require(bool(name), "site name must be non-empty")
+        require(bool(capacities), "site needs at least one resource")
+        for res, cap in capacities.items():
+            require(cap > 0.0, f"site {name!r}: capacity of {res!r} must be positive")
+        self.name = name
+        self.capacities = dict(capacities)
+
+
+class MRJob:
+    """A job with a per-task demand vector and site-pinned task counts."""
+
+    def __init__(
+        self,
+        name: str,
+        task_demand: Mapping[str, float],
+        tasks: Mapping[str, float],
+        weight: float = 1.0,
+    ):
+        require(bool(name), "job name must be non-empty")
+        require(any(v > 0 for v in task_demand.values()), f"job {name!r}: task demand must be non-zero")
+        for res, d in task_demand.items():
+            require(d >= 0.0, f"job {name!r}: demand of {res!r} must be non-negative")
+        require(any(v > 0 for v in tasks.values()), f"job {name!r}: needs tasks at >= 1 site")
+        require(weight > 0.0, "weight must be positive")
+        self.name = name
+        self.task_demand = dict(task_demand)
+        self.tasks = {s: float(v) for s, v in tasks.items() if v > 0}
+        self.weight = weight
+
+
+class MRCluster:
+    """Immutable snapshot of a multi-resource federation."""
+
+    def __init__(self, sites: Sequence[MRSite], jobs: Sequence[MRJob]):
+        require(len(sites) > 0, "need at least one site")
+        names = [s.name for s in sites]
+        require(len(set(names)) == len(names), "site names must be unique")
+        jnames = [j.name for j in jobs]
+        require(len(set(jnames)) == len(jnames), "job names must be unique")
+        resources = sorted({r for s in sites for r in s.capacities})
+        for site in sites:
+            require(
+                set(site.capacities) == set(resources),
+                f"site {site.name!r} must define all resources {resources}",
+            )
+        for job in jobs:
+            unknown = set(job.tasks) - set(names)
+            require(not unknown, f"job {job.name!r} references unknown sites {sorted(unknown)}")
+            require(
+                set(job.task_demand) <= set(resources),
+                f"job {job.name!r} demands unknown resources",
+            )
+        self.sites = tuple(sites)
+        self.jobs = tuple(jobs)
+        self.resources = resources
+        self._site_index = {n: k for k, n in enumerate(names)}
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.sites)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def n_resources(self) -> int:
+        return len(self.resources)
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def capacity_matrix(self) -> np.ndarray:
+        """``(m, R)`` per-site capacities."""
+        return np.array([[s.capacities[r] for r in self.resources] for s in self.sites])
+
+    @cached_property
+    def total_capacity(self) -> np.ndarray:
+        """``(R,)`` federation-wide capacities."""
+        return self.capacity_matrix.sum(axis=0)
+
+    @cached_property
+    def demand_matrix(self) -> np.ndarray:
+        """``(n, R)`` per-task demand vectors."""
+        return np.array([[j.task_demand.get(r, 0.0) for r in self.resources] for j in self.jobs])
+
+    @cached_property
+    def task_caps(self) -> np.ndarray:
+        """``(n, m)`` max simultaneous tasks (0 off-support)."""
+        caps = np.zeros((self.n_jobs, self.n_sites))
+        for i, job in enumerate(self.jobs):
+            for site, count in job.tasks.items():
+                caps[i, self._site_index[site]] = count
+        return caps
+
+    @cached_property
+    def weights(self) -> np.ndarray:
+        return np.array([j.weight for j in self.jobs])
+
+    # ------------------------------------------------------------------
+    def global_dominant_factor(self) -> np.ndarray:
+        """``(n,)`` dominant share per unit aggregate task rate (global capacities)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = self.demand_matrix / self.total_capacity
+        return frac.max(axis=1)
+
+    def local_dominant_factor(self, j: int) -> np.ndarray:
+        """``(n,)`` dominant share per unit task rate at site ``j``."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = self.demand_matrix / self.capacity_matrix[j]
+        return frac.max(axis=1)
+
+    def aggregate_dominant_shares(self, rates: np.ndarray) -> np.ndarray:
+        """``(n,)`` global dominant shares of an ``(n, m)`` task-rate matrix."""
+        return rates.sum(axis=1) * self.global_dominant_factor()
+
+    def validate_rates(self, rates: np.ndarray, *, tol: float = 1e-7) -> None:
+        """Assert an ``(n, m)`` task-rate matrix respects caps and capacities."""
+        require(rates.shape == (self.n_jobs, self.n_sites), "rate matrix shape mismatch")
+        require(float(rates.min(initial=0.0)) >= -tol, "rates must be non-negative")
+        over_cap = rates - self.task_caps
+        require(float(over_cap.max(initial=0.0)) <= tol * max(1.0, float(self.task_caps.max(initial=1.0))), "task cap violated")
+        usage = np.einsum("ij,ir->jr", rates, self.demand_matrix)
+        slack = usage - self.capacity_matrix
+        require(
+            float(slack.max(initial=0.0)) <= tol * max(1.0, float(self.capacity_matrix.max())),
+            "site resource capacity violated",
+        )

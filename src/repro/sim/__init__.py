@@ -1,0 +1,39 @@
+"""Fluid discrete-event simulator for distributed job execution.
+
+The paper evaluates policies by simulating jobs that arrive, consume
+site-pinned work at the rates the active policy allocates, and depart when
+all their work is done.  This package implements that model exactly (no
+time-stepping): between events workloads deplete linearly, so the next
+event time is closed-form, and the policy re-solves at every event
+(arrival, per-site work exhaustion, job completion).
+
+* :class:`~repro.sim.engine.FluidSimulator` — the engine.
+* :class:`~repro.sim.metrics.SimulationResult` — per-job records + summary
+  statistics (mean/median/p95 JCT, slowdown, utilization).
+* :mod:`~repro.sim.trace` — event trace recording and rendering.
+"""
+
+from repro.sim.engine import FluidSimulator, simulate
+from repro.sim.metrics import JobRecord, SimulationResult
+from repro.sim.trace import SimEvent, Trace
+from repro.sim.observers import (
+    BalanceObserver,
+    ChurnObserver,
+    CompositeObserver,
+    Observer,
+    UtilizationObserver,
+)
+
+__all__ = [
+    "FluidSimulator",
+    "simulate",
+    "JobRecord",
+    "SimulationResult",
+    "SimEvent",
+    "Trace",
+    "Observer",
+    "BalanceObserver",
+    "UtilizationObserver",
+    "ChurnObserver",
+    "CompositeObserver",
+]

@@ -1,0 +1,118 @@
+"""Simulation outputs: per-job records and summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(slots=True)
+class JobRecord:
+    """Lifecycle record of one simulated job."""
+
+    name: str
+    arrival: float
+    completion: float  # inf when the job never finished (stall)
+    total_work: float
+    isolated_time: float  # completion time if it had every site to itself
+
+    @property
+    def jct(self) -> float:
+        """Job completion time (response time)."""
+        return self.completion - self.arrival
+
+    @property
+    def slowdown(self) -> float:
+        """JCT normalized by the isolated (contention-free) completion time."""
+        if self.isolated_time <= 0.0:
+            return np.inf
+        return self.jct / self.isolated_time
+
+    @property
+    def finished(self) -> bool:
+        return np.isfinite(self.completion)
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """All records from one run plus derived statistics.
+
+    ``utilization_integral`` is the time integral of total allocated rate;
+    dividing by (capacity * horizon) gives average utilization.
+    """
+
+    policy: str
+    records: list[JobRecord] = field(default_factory=list)
+    horizon: float = 0.0
+    total_capacity: float = 0.0
+    utilization_integral: float = 0.0
+    n_events: int = 0
+    n_policy_solves: int = 0
+    stalled: bool = False
+
+    # ------------------------------------------------------------------
+    def jcts(self, finished_only: bool = True) -> np.ndarray:
+        vals = [r.jct for r in self.records if r.finished or not finished_only]
+        return np.asarray(vals, dtype=float)
+
+    def slowdowns(self, finished_only: bool = True) -> np.ndarray:
+        vals = [r.slowdown for r in self.records if r.finished or not finished_only]
+        return np.asarray(vals, dtype=float)
+
+    @property
+    def n_finished(self) -> int:
+        return sum(1 for r in self.records if r.finished)
+
+    @property
+    def mean_jct(self) -> float:
+        j = self.jcts()
+        return float(j.mean()) if j.size else np.nan
+
+    @property
+    def median_jct(self) -> float:
+        j = self.jcts()
+        return float(np.median(j)) if j.size else np.nan
+
+    def jct_percentile(self, q: float) -> float:
+        j = self.jcts()
+        return float(np.percentile(j, q)) if j.size else np.nan
+
+    @property
+    def makespan(self) -> float:
+        done = [r.completion for r in self.records if r.finished]
+        return float(max(done)) if done else np.nan
+
+    @property
+    def mean_slowdown(self) -> float:
+        s = self.slowdowns()
+        return float(s.mean()) if s.size else np.nan
+
+    @property
+    def avg_utilization(self) -> float:
+        if self.horizon <= 0.0 or self.total_capacity <= 0.0:
+            return 0.0
+        return self.utilization_integral / (self.total_capacity * self.horizon)
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of headline statistics (what the benchmarks print)."""
+        return {
+            "n_jobs": float(len(self.records)),
+            "n_finished": float(self.n_finished),
+            "mean_jct": self.mean_jct,
+            "median_jct": self.median_jct,
+            "p95_jct": self.jct_percentile(95),
+            "makespan": self.makespan,
+            "mean_slowdown": self.mean_slowdown,
+            "avg_utilization": self.avg_utilization,
+            "events": float(self.n_events),
+        }
+
+    def __str__(self) -> str:
+        s = self.summary()
+        return (
+            f"{self.policy}: {int(s['n_finished'])}/{int(s['n_jobs'])} jobs, "
+            f"mean JCT {s['mean_jct']:.3f}, p95 {s['p95_jct']:.3f}, "
+            f"makespan {s['makespan']:.3f}, slowdown {s['mean_slowdown']:.2f}, "
+            f"util {s['avg_utilization']:.3f}"
+        )

@@ -1,0 +1,147 @@
+"""Simulation observers: time-weighted metrics over the run.
+
+Static balance metrics (F1/F2) score one allocation snapshot; a dynamic
+system is fair only if it stays balanced *while jobs come and go*.  An
+observer receives every (interval, allocation) pair the simulator realizes
+and integrates metrics over time:
+
+* :class:`BalanceObserver` — time-averaged Jain index / CoV over the
+  comparable levels of each interval's allocation (extension experiment
+  X1, DESIGN.md §6).
+* :class:`UtilizationObserver` — per-site utilization timelines.
+
+Observers plug into :class:`~repro.sim.engine.FluidSimulator` via the
+``observer`` argument; any callable with the same signature works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.metrics.fairness import coefficient_of_variation, jain_index
+from repro.model.cluster import Cluster
+
+
+class Observer:
+    """Interface: called once per simulated interval, before time advances."""
+
+    def observe(self, t: float, dt: float, snapshot: Cluster, alloc: Allocation) -> None:
+        raise NotImplementedError
+
+
+@dataclass(slots=True)
+class BalanceObserver(Observer):
+    """Integrates allocation-balance metrics over simulated time.
+
+    The instantaneous metric is computed over the *weighted levels* of the
+    jobs active in the interval; intervals with fewer than 2 active jobs
+    are skipped (fairness is vacuous there).
+    """
+
+    time_observed: float = 0.0
+    jain_integral: float = 0.0
+    cov_integral: float = 0.0
+    min_samples: int = 2
+
+    def observe(self, t: float, dt: float, snapshot: Cluster, alloc: Allocation) -> None:
+        if dt <= 0.0 or snapshot.n_jobs < self.min_samples:
+            return
+        levels = alloc.normalized_aggregates()
+        self.time_observed += dt
+        self.jain_integral += jain_index(levels) * dt
+        self.cov_integral += coefficient_of_variation(levels) * dt
+
+    @property
+    def time_avg_jain(self) -> float:
+        return self.jain_integral / self.time_observed if self.time_observed > 0 else np.nan
+
+    @property
+    def time_avg_cov(self) -> float:
+        return self.cov_integral / self.time_observed if self.time_observed > 0 else np.nan
+
+
+@dataclass(slots=True)
+class UtilizationObserver(Observer):
+    """Per-site utilization integrals (time-averaged by :meth:`averages`)."""
+
+    site_names: list[str] = field(default_factory=list)
+    usage_integrals: dict[str, float] = field(default_factory=dict)
+    capacity: dict[str, float] = field(default_factory=dict)
+    time_observed: float = 0.0
+
+    def observe(self, t: float, dt: float, snapshot: Cluster, alloc: Allocation) -> None:
+        if dt <= 0.0:
+            return
+        self.time_observed += dt
+        usage = alloc.site_usage
+        for j, site in enumerate(snapshot.sites):
+            if site.name not in self.usage_integrals:
+                self.site_names.append(site.name)
+                self.usage_integrals[site.name] = 0.0
+                self.capacity[site.name] = site.capacity
+            self.usage_integrals[site.name] += float(usage[j]) * dt
+
+    def averages(self) -> dict[str, float]:
+        """Time-averaged utilization per site (fraction of capacity)."""
+        if self.time_observed <= 0.0:
+            return {}
+        return {
+            name: self.usage_integrals[name] / (self.capacity[name] * self.time_observed)
+            for name in self.site_names
+        }
+
+
+@dataclass(slots=True)
+class ChurnObserver(Observer):
+    """Measures allocation *churn*: how much the assignment moves per event.
+
+    Real schedulers pay for reallocation (preemptions, container resizes),
+    so a policy that reshuffles `a_ij` wildly at every event is costlier to
+    operate than its fluid metrics suggest.  Churn at an event is the L1
+    distance between a job's new and previous site vector, summed over the
+    jobs present at both events, normalized by total capacity
+    ("fraction of the cluster reassigned").
+
+    Extension experiment X5 compares policies on mean churn per event.
+    """
+
+    total_churn: float = 0.0
+    events: int = 0
+    _previous: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def observe(self, t: float, dt: float, snapshot: Cluster, alloc: Allocation) -> None:
+        current: dict[str, dict[str, float]] = {}
+        for i, job in enumerate(snapshot.jobs):
+            current[job.name] = {
+                snapshot.sites[j].name: float(alloc.matrix[i, j])
+                for j in np.flatnonzero(alloc.matrix[i] > 0.0)
+            }
+        carried = set(self._previous) & set(current)
+        if carried:
+            moved = 0.0
+            for name in carried:
+                old, new = self._previous[name], current[name]
+                for site in set(old) | set(new):
+                    moved += abs(new.get(site, 0.0) - old.get(site, 0.0))
+            self.total_churn += moved / snapshot.total_capacity
+            self.events += 1
+        self._previous = current
+
+    @property
+    def mean_churn(self) -> float:
+        """Mean fraction of cluster capacity reassigned per event."""
+        return self.total_churn / self.events if self.events else np.nan
+
+
+@dataclass(slots=True)
+class CompositeObserver(Observer):
+    """Fan one observation out to several observers."""
+
+    observers: list[Observer] = field(default_factory=list)
+
+    def observe(self, t: float, dt: float, snapshot: Cluster, alloc: Allocation) -> None:
+        for obs in self.observers:
+            obs.observe(t, dt, snapshot, alloc)

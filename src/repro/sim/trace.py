@@ -1,0 +1,56 @@
+"""Event traces: what happened when, for debugging and for the examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+EventKind = Literal["arrival", "site-done", "completion", "stall"]
+
+
+@dataclass(frozen=True, slots=True)
+class SimEvent:
+    """One simulator event.
+
+    ``kind``:
+
+    * ``arrival`` — a job entered the system,
+    * ``site-done`` — a job exhausted its work at one site (support shrinks),
+    * ``completion`` — a job finished all its work,
+    * ``stall`` — no allocated edge is making progress and no arrival is
+      pending (the simulator stops and marks survivors unfinished).
+    """
+
+    time: float
+    kind: EventKind
+    job: str
+    site: str | None = None
+
+    def __str__(self) -> str:
+        where = f" @ {self.site}" if self.site else ""
+        return f"[t={self.time:10.4f}] {self.kind:10s} {self.job}{where}"
+
+
+@dataclass(slots=True)
+class Trace:
+    """Append-only event log with a bounded memory footprint."""
+
+    max_events: int | None = None
+    events: list[SimEvent] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, event: SimEvent) -> None:
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def of_kind(self, kind: EventKind) -> list[SimEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def render(self, limit: int = 50) -> str:
+        lines = [str(e) for e in self.events[:limit]]
+        extra = len(self.events) - limit + self.dropped
+        if extra > 0:
+            lines.append(f"... ({extra} more events)")
+        return "\n".join(lines)

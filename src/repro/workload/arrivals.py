@@ -1,0 +1,63 @@
+"""Poisson arrival processes for the dynamic load-sweep experiments (F7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import require
+from repro.model.job import Job
+from repro.model.site import Site
+from repro.workload.generator import WorkloadSpec, generate_jobs
+
+
+@dataclass(frozen=True, slots=True)
+class ArrivalSpec:
+    """Open-system arrivals layered on a :class:`WorkloadSpec` spatial model.
+
+    ``load`` is the offered load ``rho`` = (work arrival rate) / (total
+    service capacity); stable dynamics need ``rho < 1``.  Arrival times are
+    Poisson with rate ``n_jobs / horizon`` where the horizon is derived from
+    the load.
+    """
+
+    workload: WorkloadSpec = WorkloadSpec()
+    load: float = 0.7
+    site_capacity: float = 10.0
+
+    def __post_init__(self) -> None:
+        require(0.0 < self.load, "load must be positive")
+        require(self.site_capacity > 0.0, "site capacity must be positive")
+
+
+def generate_arrival_jobs(spec: ArrivalSpec, rng: np.random.Generator) -> tuple[list[Site], list[Job]]:
+    """Sample sites and arrival-stamped jobs matching offered load ``spec.load``.
+
+    Total work of the batch is ``W``; the arrival horizon is set to
+    ``W / (load * total_capacity)`` so the offered load over the horizon is
+    ``load``.  Demand caps are kept from the workload spec (they bound how
+    fast any single job can drain, independent of load).
+    """
+    base = generate_jobs(spec.workload, rng)
+    sites = [Site(f"s{j}", spec.site_capacity) for j in range(spec.workload.n_sites)]
+    total_capacity = spec.site_capacity * spec.workload.n_sites
+    total_work = sum(j.total_work for j in base)
+    horizon = total_work / (spec.load * total_capacity)
+    # Poisson process: exponential gaps normalized onto the horizon.
+    gaps = rng.exponential(1.0, size=len(base))
+    times = np.cumsum(gaps)
+    times = times / times[-1] * horizon if times[-1] > 0 else times
+    jobs = [replace_arrival(job, float(t)) for job, t in zip(base, times)]
+    return sites, jobs
+
+
+def replace_arrival(job: Job, arrival: float) -> Job:
+    """Copy of ``job`` with a new arrival time."""
+    return Job(
+        name=job.name,
+        workload=dict(job.workload),
+        demand=dict(job.demand),
+        weight=job.weight,
+        arrival=arrival,
+    )

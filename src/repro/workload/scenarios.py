@@ -1,0 +1,37 @@
+"""Named workload scenarios: reproducible presets for CLI and examples.
+
+Each scenario is a :class:`~repro.workload.generator.WorkloadSpec` tuned to
+exhibit one regime the paper discusses.  ``python -m repro.cli solve
+--scenario hot-spot`` (or ``simulate``) uses them; tests pin their shapes.
+"""
+
+from __future__ import annotations
+
+from repro.workload.generator import WorkloadSpec
+
+#: Registry of named scenarios.
+SCENARIOS: dict[str, WorkloadSpec] = {
+    # Balanced federation: no skew — every fair policy nearly coincides.
+    "uniform": WorkloadSpec(n_jobs=40, n_sites=8, theta=0.0, site_spread=3),
+    # The paper's headline regime: workload concentrated on popular sites.
+    "skewed": WorkloadSpec(n_jobs=40, n_sites=8, theta=1.5, site_spread=3),
+    # One overwhelming hot site: PSMF starves whoever is pinned there.
+    "hot-spot": WorkloadSpec(n_jobs=40, n_sites=8, theta=2.5, site_spread=2),
+    # Elastic jobs (no demand caps): sharing incentive is trivially satisfied.
+    "elastic": WorkloadSpec(n_jobs=40, n_sites=8, theta=1.2, site_spread=3, demand_scale=None),
+    # Tightly demand-capped jobs: the regime where AMF can violate sharing
+    # incentive and enhanced AMF earns its keep (T2).
+    "capped": WorkloadSpec(n_jobs=40, n_sites=8, theta=1.5, site_spread=3, demand_scale=0.03),
+    # Heterogeneous priorities: weighted max-min fairness.
+    "weighted": WorkloadSpec(n_jobs=40, n_sites=8, theta=1.2, site_spread=3, weight_spread=3.0),
+    # Many small sites: wide bipartite graphs stress the solver.
+    "wide": WorkloadSpec(n_jobs=80, n_sites=32, theta=1.0, site_spread=4),
+}
+
+
+def get_scenario(name: str) -> WorkloadSpec:
+    """Look up a scenario by name (raises ``KeyError`` listing choices)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; choices: {sorted(SCENARIOS)}") from None

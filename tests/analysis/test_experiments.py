@@ -1,0 +1,121 @@
+"""Smoke + shape tests for the experiment definitions (tiny scale).
+
+Full-size experiment shape claims live in tests/integration/test_paper_claims.py;
+here we verify every experiment runs end-to-end at minimal scale and emits
+well-formed output.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    run_f1_balance_vs_skew,
+    run_f4_jct_distribution,
+    run_f8_scalability,
+    run_t1_properties,
+    run_t2_sharing_incentive,
+)
+
+
+TINY = dict(scale=0.12, seeds=(0,))
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        assert set(EXPERIMENTS) == {
+            "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8",
+            "T1", "T2", "T3", "T4", "X1", "X2", "X3", "X4", "X5", "X6", "X7",
+        }
+
+
+class TestSmoke:
+    @pytest.mark.parametrize("eid", ["F1", "F2", "F5", "F6"])
+    def test_balance_experiments_run(self, eid):
+        out = EXPERIMENTS[eid](scale=0.12, seeds=(0,), thetas=(0.0, 1.5)) if eid in ("F1", "F2") else EXPERIMENTS[eid](scale=0.12, seeds=(0,))
+        assert out.experiment == eid
+        assert "theta" in out.text or "n_" in out.text
+
+    def test_f3_runs(self):
+        out = EXPERIMENTS["F3"](scale=0.1, seeds=(0,), thetas=(0.0, 1.5), policies=("psmf", "amf"))
+        assert "F3" in out.text
+
+    def test_f4_runs(self):
+        out = run_f4_jct_distribution(scale=0.1, policies=("psmf", "amf"))
+        assert len(out.data["deciles"]) == 10
+
+    def test_f7_runs(self):
+        out = EXPERIMENTS["F7"](scale=0.08, seeds=(0,), loads=(0.5,), policies=("psmf", "amf"))
+        assert "load" in out.text
+
+    def test_f8_runs(self):
+        out = run_f8_scalability(scale=0.1, sizes=((20, 4), (40, 4)))
+        assert len(out.data["rows"]) == 2
+        assert all(r["cutting_ms"] > 0 for r in out.data["rows"])
+
+    def test_t1_runs(self):
+        out = run_t1_properties(scale=0.5, seeds=(0, 1), sp_attempts=1)
+        # two seeds x two families per seed
+        assert out.data["total"] == 4
+        # AMF is max-min fair and Pareto-efficient on every instance
+        assert out.data["counters"]["amf"]["max_min"] == 4
+        assert out.data["counters"]["amf"]["pareto"] == 4
+        # ... but fails sharing incentive on the hub-and-spoke half
+        assert out.data["counters"]["amf"]["si"] < 4
+
+    def test_t2_runs(self):
+        out = run_t2_sharing_incentive(scale=0.3, seeds=(0, 1, 2))
+        assert out.data["hub"]["amf"]["violated"] > 0
+        assert out.data["hub"]["amf-e"]["violated"] == 0
+        assert out.data["zipf"]["amf-e"]["violated"] == 0
+
+    def test_t3_runs(self):
+        out = EXPERIMENTS["T3"](scale=0.1, seeds=(0,))
+        assert "split mode" in out.text and "T3b" in out.text
+
+
+class TestShapes:
+    def test_f1_amf_dominates_at_high_skew(self):
+        out = run_f1_balance_vs_skew(scale=0.3, seeds=(0, 1), thetas=(1.5,))
+        sw = out.data["sweep"]
+        assert sw.metric_at("amf/jain", 1.5) >= sw.metric_at("psmf/jain", 1.5)
+
+
+class TestHelpers:
+    def test_scaled_minimum(self):
+        from repro.analysis.experiments import _scaled
+
+        assert _scaled(100, 1.0) == 100
+        assert _scaled(100, 0.5) == 50
+        assert _scaled(100, 0.001) == 2
+        assert _scaled(10, 0.1, minimum=5) == 5
+
+    def test_experiment_output_str(self):
+        from repro.analysis.experiments import ExperimentOutput
+
+        out = ExperimentOutput("F1", "body", {"k": 1})
+        assert str(out) == "body"
+        assert out.data["k"] == 1
+
+    def test_t4_smoke(self):
+        from repro.analysis.experiments import run_t4_monotonicity
+
+        out = run_t4_monotonicity(scale=0.5, seeds=(0,), policies=("psmf", "amf"))
+        assert out.data["data"]["amf"]["population_breaches"] == 0
+
+    def test_x4_smoke(self):
+        from repro.analysis.experiments import run_x4_price_of_locality
+
+        out = run_x4_price_of_locality(scale=0.15, seeds=(0,), thetas=(1.0,))
+        assert "locality" in out.text
+
+    def test_x6_smoke(self):
+        from repro.analysis.experiments import run_x6_discrete_convergence
+
+        out = run_x6_discrete_convergence(scale=0.2, seeds=(0,), granularities=(1.0,))
+        assert "granularity" in out.text
+
+    def test_x7_smoke(self):
+        from repro.analysis.experiments import run_x7_multiresource
+
+        out = run_x7_multiresource(scale=0.4, seeds=(0,), thetas=(1.0,))
+        assert "amrf/jain" in out.text

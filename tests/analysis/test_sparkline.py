@@ -1,0 +1,48 @@
+"""Tests for sparkline rendering."""
+
+import numpy as np
+
+from repro.analysis.sparkline import BLOCKS, sparkline, sparkline_summary
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        s = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert s == BLOCKS
+
+    def test_constant_series(self):
+        assert sparkline([3.0, 3.0, 3.0]) == BLOCKS[0] * 3
+
+    def test_nan_renders_space(self):
+        s = sparkline([1.0, np.nan, 2.0])
+        assert s[1] == " "
+        assert len(s) == 3
+
+    def test_all_nan(self):
+        assert sparkline([np.nan, np.nan]) == "  "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_pinned_scale(self):
+        # with scale pinned to [0, 10], a value of 10 hits the top block
+        s = sparkline([5.0], lo=0.0, hi=10.0)
+        assert s in BLOCKS
+        assert sparkline([10.0], lo=0.0, hi=10.0) == BLOCKS[-1]
+        assert sparkline([0.0], lo=0.0, hi=10.0) == BLOCKS[0]
+
+
+class TestSummary:
+    def test_shared_scale_orders_series(self):
+        text = sparkline_summary({"low": [1, 1], "high": [8, 8]})
+        low_line, high_line = text.splitlines()[0], text.splitlines()[1]
+        assert low_line.split()[-1] == BLOCKS[0] * 2
+        assert high_line.split()[-1] == BLOCKS[-1] * 2
+
+    def test_per_series_scale(self):
+        text = sparkline_summary({"a": [1, 2], "b": [100, 200]}, shared_scale=False)
+        a, b = (line.split()[-1] for line in text.splitlines())
+        assert a == b  # identical shapes once scales are independent
+
+    def test_empty_mapping(self):
+        assert sparkline_summary({}) == ""

@@ -1,0 +1,68 @@
+"""Shared fixtures and instance factories for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.cluster import Cluster
+from repro.model.job import Job
+from repro.model.site import Site
+
+
+@pytest.fixture
+def two_site_cluster() -> Cluster:
+    """Two sites, three jobs; job c is demand-capped at site B.
+
+    This is the library's canonical sharing-incentive violation instance
+    (DESIGN.md §1): AMF levels everyone at 0.4 while job c's equal-partition
+    entitlement is 1/3 + 0.2 = 0.5333.
+    """
+    sites = [Site("A", 1.0), Site("B", 1.0)]
+    jobs = [
+        Job("a", {"A": 1.0}),
+        Job("b", {"A": 1.0}),
+        Job("c", {"A": 1.0, "B": 0.2}, demand={"B": 0.2}),
+    ]
+    return Cluster(sites, jobs)
+
+
+@pytest.fixture
+def simple_cluster() -> Cluster:
+    """Three jobs, two uncapped sites, mild skew; uncontended enough to be easy."""
+    return Cluster.from_matrices(
+        capacities=[10.0, 10.0],
+        workloads=[[8.0, 2.0], [2.0, 8.0], [5.0, 5.0]],
+    )
+
+
+def random_cluster(
+    rng: np.random.Generator,
+    n_jobs: int | None = None,
+    n_sites: int | None = None,
+    *,
+    cap_prob: float = 0.5,
+    weight_spread: float = 0.0,
+) -> Cluster:
+    """Small random instance with sparse support and mixed demand caps.
+
+    Used by the randomized cross-validation tests; kept intentionally
+    different from :mod:`repro.workload.generator` so the test instances do
+    not share the generator's structure.
+    """
+    n = n_jobs if n_jobs is not None else int(rng.integers(2, 8))
+    m = n_sites if n_sites is not None else int(rng.integers(1, 6))
+    W = rng.uniform(0.0, 2.0, (n, m)) * (rng.random((n, m)) < 0.7)
+    for i in range(n):
+        if W[i].sum() == 0.0:
+            W[i, rng.integers(m)] = 1.0
+    caps = np.where(rng.random((n, m)) < cap_prob, rng.uniform(0.05, 1.5, (n, m)), np.inf)
+    weights = None
+    if weight_spread > 0:
+        weights = 1.0 + rng.uniform(0.0, weight_spread, n)
+    return Cluster.from_matrices(rng.uniform(0.5, 3.0, m), W, caps, weights=weights)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

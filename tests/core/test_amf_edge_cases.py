@@ -1,0 +1,123 @@
+"""Edge-case and stress tests for the AMF solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import properties
+from repro.core.amf import amf_levels, solve_amf
+from repro.core.waterfilling import water_fill
+from repro.model.cluster import Cluster
+
+from tests.conftest import random_cluster
+
+
+class TestTies:
+    def test_identical_jobs_share_exactly(self):
+        c = Cluster.uniform(7, 3, capacity=7.0)
+        lv = amf_levels(c)
+        assert np.allclose(lv, lv[0])
+        assert lv.sum() == pytest.approx(21.0)
+
+    def test_identical_caps_tie(self):
+        c = Cluster.from_matrices([4.0], [[1.0]] * 4, [[0.5]] * 4)
+        lv = amf_levels(c)
+        assert np.allclose(lv, 0.5)
+
+    def test_two_equal_bottlenecks(self):
+        # two disjoint unit sites, each shared by two pinned jobs
+        c = Cluster.from_matrices(
+            [1.0, 1.0],
+            [[1.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.0, 1.0]],
+        )
+        assert np.allclose(amf_levels(c), 0.5)
+
+    def test_cascading_bottlenecks(self):
+        # site capacities 1 < 2 < 4 shared by chains of jobs
+        c = Cluster.from_matrices(
+            [1.0, 2.0, 4.0],
+            [
+                [1.0, 0.0, 0.0],
+                [1.0, 1.0, 0.0],
+                [0.0, 1.0, 1.0],
+                [0.0, 0.0, 1.0],
+            ],
+        )
+        lv = amf_levels(c)
+        a = solve_amf(c)
+        assert properties.is_max_min_fair(a)
+        assert lv.sum() == pytest.approx(min(7.0, lv.sum()))
+        # total capacity is 7 and all jobs are elastic -> fully allocated
+        assert lv.sum() == pytest.approx(7.0)
+
+
+class TestDegenerate:
+    def test_single_job_takes_reachable_capacity(self):
+        c = Cluster.from_matrices([2.0, 5.0], [[1.0, 1.0]])
+        assert amf_levels(c)[0] == pytest.approx(7.0)
+
+    def test_single_job_single_site(self):
+        c = Cluster.from_matrices([3.0], [[1.0]])
+        assert amf_levels(c)[0] == pytest.approx(3.0)
+
+    def test_all_jobs_zero_cap(self):
+        c = Cluster.from_matrices([1.0], [[1.0], [1.0]], [[0.0], [0.0]])
+        assert np.allclose(amf_levels(c), 0.0)
+
+    def test_tiny_capacities(self):
+        c = Cluster.from_matrices([1e-6, 1e-6], [[1.0, 1.0], [1.0, 0.0]])
+        lv = amf_levels(c)
+        assert lv.sum() == pytest.approx(2e-6, rel=1e-6)
+
+    def test_huge_capacities(self):
+        c = Cluster.from_matrices([1e9], [[1.0], [1.0]])
+        assert np.allclose(amf_levels(c), 5e8)
+
+    def test_extreme_weights(self):
+        c = Cluster.from_matrices([1.0], [[1.0], [1.0]], weights=[1e-3, 1e3])
+        lv = amf_levels(c)
+        assert lv.sum() == pytest.approx(1.0)
+        assert lv[1] / lv[0] == pytest.approx(1e6, rel=1e-6)
+
+    def test_single_site_with_floors_matches_constrained_waterfill(self):
+        c = Cluster.from_matrices([10.0], [[1.0], [1.0], [1.0]])
+        floors = np.array([5.0, 0.0, 0.0])
+        lv = amf_levels(c, floors=floors)
+        assert np.allclose(lv, [5.0, 2.5, 2.5])
+
+    def test_floors_equal_capacity(self):
+        c = Cluster.from_matrices([2.0], [[1.0], [1.0]])
+        lv = amf_levels(c, floors=np.array([1.0, 1.0]))
+        assert np.allclose(lv, [1.0, 1.0])
+
+
+class TestStressExactness:
+    """Larger randomized instances, validated by the exact max-min decider
+    (the LP oracle would be too slow here)."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_medium_instances_are_maxmin(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        c = random_cluster(rng, n_jobs=25, n_sites=6)
+        a = solve_amf(c)
+        assert properties.is_max_min_fair(a)
+        assert properties.is_pareto_efficient(a)
+
+    def test_disconnected_components_solve_independently(self):
+        # two independent sub-systems glued into one cluster
+        c = Cluster.from_matrices(
+            [6.0, 1.0],
+            [[1.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.0, 1.0]],
+            [[1.0, np.inf], [np.inf, np.inf], [np.inf, np.inf], [np.inf, np.inf]],
+        )
+        lv = amf_levels(c)
+        left = water_fill(6.0, np.array([1.0, 6.0]))
+        assert np.allclose(lv[:2], left)
+        assert np.allclose(lv[2:], 0.5)
+
+    def test_dense_support_matches_single_pool(self):
+        """Full support with no caps behaves like one pooled resource."""
+        rng = np.random.default_rng(2)
+        caps = rng.uniform(1.0, 3.0, 4)
+        c = Cluster.from_matrices(caps, np.ones((6, 4)))
+        lv = amf_levels(c)
+        assert np.allclose(lv, caps.sum() / 6.0)

@@ -1,0 +1,89 @@
+"""Tests for the monotonicity-axiom probes."""
+
+import numpy as np
+
+from repro.core import properties
+from repro.core.allocation import Allocation
+from repro.core.amf import solve_amf
+from repro.core.enhanced import solve_amf_enhanced
+from repro.core.persite import solve_psmf
+from repro.model.cluster import Cluster
+
+from tests.conftest import random_cluster
+
+
+def rotating_dictator(cluster: Cluster) -> Allocation:
+    """Deliberately non-monotonic policy: site ``k`` goes wholesale to the
+    ``(k + 1) mod n``-th job (sorted by name).  Removing any job shifts the
+    rotation, so a previously-rich job can lose a fat site."""
+    names = sorted(j.name for j in cluster.jobs)
+    matrix = np.zeros((cluster.n_jobs, cluster.n_sites))
+    for k in range(cluster.n_sites):
+        winner_name = names[(k + 1) % len(names)]
+        i = cluster.job_index(winner_name)
+        if cluster.support[i, k]:
+            matrix[i, k] = min(cluster.capacities[k], cluster.demand_caps[i, k])
+    return Allocation(cluster, matrix, policy="rotating-dictator")
+
+
+class TestPopulationMonotonicity:
+    def test_amf_clean_on_battery(self):
+        for seed in range(8):
+            c = random_cluster(np.random.default_rng(seed), n_jobs=5, n_sites=3)
+            assert properties.population_monotonicity_probe(c, solve_amf) == []
+
+    def test_psmf_clean_on_battery(self):
+        for seed in range(8):
+            c = random_cluster(np.random.default_rng(seed), n_jobs=5, n_sites=3)
+            assert properties.population_monotonicity_probe(c, solve_psmf) == []
+
+    def test_enhanced_amf_CAN_violate(self):
+        """Documented behaviour: AMF-E is *not* population monotone.
+
+        A departure raises the remaining jobs' equal-partition entitlements
+        (each site now splits ``1/(n-1)`` ways), and the higher floors of
+        *other* jobs can squeeze a previously-rich job below its old level.
+        The probe finds such cases on random demand-capped instances — an
+        inherent price of the sharing-incentive floors.
+        """
+        found = 0
+        for seed in range(4):
+            c = random_cluster(np.random.default_rng(seed), n_jobs=4, n_sites=3, cap_prob=0.8)
+            found += len(properties.population_monotonicity_probe(c, solve_amf_enhanced))
+        assert found > 0
+
+    def test_single_job_trivially_clean(self):
+        c = Cluster.from_matrices([1.0], [[1.0]])
+        assert properties.population_monotonicity_probe(c, solve_amf) == []
+
+    def test_probe_has_teeth(self):
+        """The rotating-dictator policy produces breaches the probe catches."""
+        c = Cluster.from_matrices(
+            [3.0, 1.0, 1.0],
+            [[1.0, 1.0, 1.0], [1.0, 1.0, 1.0], [1.0, 1.0, 1.0]],
+            job_names=["a", "b", "c"],
+        )
+        breaches = properties.population_monotonicity_probe(c, rotating_dictator)
+        assert breaches, "the rotating dictator should violate population monotonicity"
+        assert any(b.trigger == "a" and b.victim == "b" for b in breaches)
+        assert all(b.kind == "population" and b.after < b.before for b in breaches)
+
+
+class TestResourceMonotonicity:
+    def test_amf_clean_on_battery(self):
+        for seed in range(8):
+            c = random_cluster(np.random.default_rng(seed), n_jobs=5, n_sites=3)
+            assert properties.resource_monotonicity_probe(c, solve_amf) == []
+
+    def test_psmf_clean_on_battery(self):
+        for seed in range(8):
+            c = random_cluster(np.random.default_rng(seed), n_jobs=5, n_sites=3)
+            assert properties.resource_monotonicity_probe(c, solve_psmf) == []
+
+    def test_growth_factor_applied(self):
+        """Growing a bottleneck site must help someone under AMF."""
+        c = Cluster.from_matrices([1.0], [[1.0], [1.0]])
+        base = solve_amf(c).aggregates.sum()
+        grown = solve_amf(Cluster([s.scaled(2.0) for s in c.sites], c.jobs)).aggregates.sum()
+        assert grown > base
+        assert properties.resource_monotonicity_probe(c, solve_amf) == []

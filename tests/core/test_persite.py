@@ -1,0 +1,76 @@
+"""Unit tests for the PSMF baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.persite import solve_psmf
+from repro.core.waterfilling import water_fill
+from repro.model.cluster import Cluster
+
+from tests.conftest import random_cluster
+
+
+class TestPsmf:
+    def test_single_site_equals_waterfill(self):
+        c = Cluster.from_matrices([6.0], [[1.0], [1.0], [1.0]], [[1.0], [np.inf], [np.inf]])
+        a = solve_psmf(c)
+        expected = water_fill(6.0, np.array([1.0, 6.0, 6.0]))
+        assert np.allclose(a.matrix[:, 0], expected)
+
+    def test_sites_are_independent(self):
+        c = Cluster.from_matrices(
+            capacities=[1.0, 4.0],
+            workloads=[[1.0, 1.0], [1.0, 0.0]],
+        )
+        a = solve_psmf(c)
+        # site 0 split 0.5/0.5; site 1 fully to job 0
+        assert np.allclose(a.matrix, [[0.5, 4.0], [0.5, 0.0]])
+
+    def test_job_absent_from_site_gets_nothing(self):
+        c = Cluster.from_matrices([2.0, 5.0], [[1.0, 0.0], [1.0, 1.0]])
+        a = solve_psmf(c)
+        assert a.matrix[0, 1] == 0.0
+        assert a.matrix[1, 1] == pytest.approx(5.0)
+
+    def test_weighted_per_site(self):
+        c = Cluster.from_matrices([3.0], [[1.0], [1.0]], weights=[1.0, 2.0])
+        a = solve_psmf(c)
+        assert np.allclose(a.matrix[:, 0], [1.0, 2.0])
+
+    def test_empty_site_ok(self):
+        c = Cluster.from_matrices([1.0, 1.0], [[1.0, 0.0]])
+        a = solve_psmf(c)
+        assert a.matrix[0, 1] == 0.0
+
+    def test_psmf_skewed_imbalance(self):
+        """The motivating imbalance: a job stuck at a hot site stays poor under PSMF."""
+        c = Cluster.from_matrices(
+            capacities=[1.0, 1.0],
+            workloads=[[1.0, 0.0], [1.0, 0.0], [1.0, 0.0], [0.0, 1.0]],
+        )
+        a = solve_psmf(c)
+        # three jobs share site 0 -> 1/3 each; the lone job owns site 1
+        assert np.allclose(a.aggregates, [1 / 3, 1 / 3, 1 / 3, 1.0])
+
+    def test_never_violates_invariants_randomized(self, rng):
+        for _ in range(20):
+            c = random_cluster(rng)
+            a = solve_psmf(c)  # Allocation constructor enforces all invariants
+            assert a.policy == "psmf"
+
+    def test_per_site_maxmin_property_randomized(self, rng):
+        """At every site, unsaturated jobs share a common weighted level."""
+        for _ in range(15):
+            c = random_cluster(rng)
+            a = solve_psmf(c)
+            for j in range(c.n_sites):
+                present = np.flatnonzero(c.support[:, j])
+                if present.size == 0:
+                    continue
+                alloc = a.matrix[present, j]
+                caps = c.demand_caps[present, j]
+                w = c.weights[present]
+                unsat = alloc < caps - 1e-9
+                if unsat.any():
+                    lv = (alloc / w)[unsat]
+                    assert lv.max() - lv.min() <= 1e-6 * max(1.0, lv.max())

@@ -1,0 +1,163 @@
+"""Tests for the fairness-property decision procedures themselves."""
+
+import numpy as np
+import pytest
+
+from repro.core import properties
+from repro.core.allocation import Allocation
+from repro.core.amf import solve_amf
+from repro.core.enhanced import solve_amf_enhanced
+from repro.core.persite import solve_psmf
+from repro.model.cluster import Cluster
+
+from tests.conftest import random_cluster
+
+
+def simple() -> Cluster:
+    return Cluster.from_matrices([2.0], [[1.0], [1.0]])
+
+
+class TestParetoHeadroom:
+    def test_full_allocation_has_no_headroom(self):
+        c = simple()
+        a = Allocation(c, [[1.0], [1.0]])
+        assert properties.pareto_headroom(a) == pytest.approx(0.0, abs=1e-9)
+        assert properties.is_pareto_efficient(a)
+
+    def test_wasteful_allocation_detected(self):
+        c = simple()
+        a = Allocation(c, [[0.5], [0.5]])
+        assert properties.pareto_headroom(a) == pytest.approx(1.0, abs=1e-6)
+        assert not properties.is_pareto_efficient(a)
+
+    def test_headroom_respects_demand_caps(self):
+        c = Cluster.from_matrices([2.0], [[1.0]], [[0.5]])
+        a = Allocation(c, [[0.5]])
+        # job is demand-saturated: leftover capacity is not headroom
+        assert properties.is_pareto_efficient(a)
+
+
+class TestMaxMin:
+    def test_equal_split_is_maxmin(self):
+        a = Allocation(simple(), [[1.0], [1.0]])
+        assert properties.is_max_min_fair(a)
+
+    def test_unequal_split_is_not(self):
+        a = Allocation(simple(), [[1.5], [0.5]])
+        viol = properties.max_min_violations(a)
+        assert [v[0] for v in viol] == ["j1"]
+        # with the richer j0 released entirely, j1 could rise from 0.5 to 2.0
+        assert viol[0][1] == pytest.approx(1.5, abs=1e-6)
+
+    def test_saturated_job_below_level_is_fine(self):
+        c = Cluster.from_matrices([2.0], [[1.0], [1.0]], [[0.2], [np.inf]])
+        a = Allocation(c, [[0.2], [1.8]])
+        assert properties.is_max_min_fair(a)
+
+    def test_weighted_maxmin(self):
+        c = Cluster.from_matrices([3.0], [[1.0], [1.0]], weights=[1.0, 2.0])
+        assert properties.is_max_min_fair(Allocation(c, [[1.0], [2.0]]))
+        assert not properties.is_max_min_fair(Allocation(c, [[1.5], [1.5]]))
+
+    def test_psmf_is_not_aggregate_maxmin_on_skew(self):
+        c = Cluster.from_matrices([1.0, 1.0], [[1.0, 0.0], [1.0, 1.0]])
+        psmf = solve_psmf(c)  # aggregates [0.5, 1.5]
+        assert not properties.is_max_min_fair(psmf)
+
+
+class TestEnvy:
+    def test_amf_is_envy_free(self, rng):
+        for _ in range(10):
+            c = random_cluster(rng)
+            assert properties.is_envy_free(solve_amf(c))
+
+    def test_blatant_envy_detected(self):
+        c = Cluster.from_matrices([2.0], [[1.0], [1.0]])
+        a = Allocation(c, [[2.0], [0.0]])
+        viol = properties.envy_violations(a)
+        assert ("j1", "j0", pytest.approx(2.0)) in [(v[0], v[1], v[2]) for v in viol]
+
+    def test_envy_respects_support(self):
+        # j1 cannot use site A, so it does not envy j0's site-A bundle
+        c = Cluster.from_matrices([2.0, 1.0], [[1.0, 0.0], [0.0, 1.0]])
+        a = Allocation(c, [[2.0, 0.0], [0.0, 1.0]])
+        assert properties.is_envy_free(a)
+
+    def test_envy_respects_demand_caps(self):
+        # j1 is capped at 0.3, so j0's huge bundle is worth only 0.3 to it
+        c = Cluster.from_matrices([2.0], [[1.0], [1.0]], [[np.inf], [0.3]])
+        a = Allocation(c, [[1.7], [0.3]])
+        assert properties.is_envy_free(a)
+
+    def test_envy_matrix_diagonal_zero(self):
+        a = Allocation(simple(), [[1.0], [1.0]])
+        env = properties.envy_matrix(a)
+        assert env[0, 0] == 0.0 and env[1, 1] == 0.0
+
+
+class TestSharingIncentive:
+    def test_equal_partition_satisfies(self):
+        c = simple()
+        a = Allocation(c, [[1.0], [1.0]])
+        assert properties.satisfies_sharing_incentive(a)
+
+    def test_violation_reported_with_magnitude(self, two_site_cluster):
+        amf = solve_amf(two_site_cluster)
+        viol = properties.sharing_incentive_violations(amf)
+        assert len(viol) == 1
+        name, short = viol[0]
+        assert name == "c"
+        assert short == pytest.approx(1 / 3 + 0.2 - 0.4, abs=1e-6)
+
+
+class TestStrategyProofness:
+    def test_amf_probe_finds_nothing(self, rng):
+        for seed in range(3):
+            c = random_cluster(np.random.default_rng(seed), n_jobs=4, n_sites=3)
+            wins = properties.strategy_proofness_probe(c, solve_amf, rng, attempts=6)
+            assert wins == []
+
+    def test_enhanced_probe_finds_nothing(self, rng):
+        c = random_cluster(np.random.default_rng(7), n_jobs=4, n_sites=3, cap_prob=0.8)
+        wins = properties.strategy_proofness_probe(c, solve_amf_enhanced, rng, attempts=6)
+        assert wins == []
+
+    def test_manipulable_policy_is_caught(self, rng):
+        """A deliberately gameable policy (proportional to reported work) is exposed."""
+
+        def proportional_to_work(cluster: Cluster) -> Allocation:
+            W = cluster.workloads
+            shares = W.sum(axis=1)
+            shares = shares / shares.sum()
+            matrix = np.zeros_like(W)
+            for j in range(cluster.n_sites):
+                present = np.flatnonzero(cluster.support[:, j])
+                if present.size == 0:
+                    continue
+                local = shares[present] / shares[present].sum()
+                matrix[present, j] = np.minimum(
+                    local * cluster.capacities[j], cluster.demand_caps[present, j]
+                )
+            return Allocation(cluster, matrix, policy="gameable")
+
+        c = Cluster.from_matrices(
+            [4.0, 4.0],
+            [[1.0, 1.0], [1.0, 1.0], [1.0, 1.0]],
+        )
+        wins = properties.strategy_proofness_probe(
+            c, proportional_to_work, np.random.default_rng(1), attempts=30
+        )
+        assert wins, "inflating reported workload should pay off under the gameable policy"
+        assert any(w.kind in ("skew-workload", "inflate-caps", "fake-site") for w in wins)
+
+
+class TestCheckAll:
+    def test_report_for_amf(self, two_site_cluster):
+        rep = properties.check_all(solve_amf(two_site_cluster))
+        assert rep.pareto and rep.max_min and rep.envy_free
+        assert not rep.sharing_incentive
+        assert rep.si_shortfall > 0
+
+    def test_report_for_enhanced(self, two_site_cluster):
+        rep = properties.check_all(solve_amf_enhanced(two_site_cluster), expect_max_min=False)
+        assert rep.pareto and rep.sharing_incentive

@@ -1,0 +1,53 @@
+"""Tests for the LP-based reference oracle (it must be trustworthy itself)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import reference_feasible, reference_levels
+from repro.model.cluster import Cluster
+
+
+class TestReferenceFeasible:
+    def test_trivial(self):
+        c = Cluster.from_matrices([1.0], [[1.0]])
+        assert reference_feasible(c, np.array([0.5]))
+        assert not reference_feasible(c, np.array([1.5]))
+
+    def test_respects_support(self):
+        c = Cluster.from_matrices([1.0, 1.0], [[1.0, 0.0]])
+        assert not reference_feasible(c, np.array([1.5]))
+
+    def test_respects_demand_caps(self):
+        c = Cluster.from_matrices([1.0], [[1.0]], [[0.3]])
+        assert not reference_feasible(c, np.array([0.4]))
+
+
+class TestReferenceLevels:
+    def test_single_site_waterfill(self):
+        c = Cluster.from_matrices([6.0], [[1.0], [1.0], [1.0]], [[1.0], [np.inf], [np.inf]])
+        assert np.allclose(reference_levels(c), [1.0, 2.5, 2.5], atol=1e-6)
+
+    def test_cross_site_compensation(self):
+        c = Cluster.from_matrices([1.0, 1.0], [[1.0, 0.0], [1.0, 1.0]])
+        assert np.allclose(reference_levels(c), [1.0, 1.0], atol=1e-6)
+
+    def test_motivating_instance(self, two_site_cluster):
+        assert np.allclose(reference_levels(two_site_cluster), [0.4, 0.4, 0.4], atol=1e-6)
+
+    def test_floors(self):
+        c = Cluster.from_matrices([3.0], [[1.0], [1.0], [1.0]])
+        lv = reference_levels(c, floors=np.array([2.0, 0.0, 0.0]))
+        assert np.allclose(lv, [2.0, 0.5, 0.5], atol=1e-6)
+
+    def test_infeasible_floors_rejected(self):
+        c = Cluster.from_matrices([1.0], [[1.0], [1.0]])
+        with pytest.raises(ValueError, match="infeasible"):
+            reference_levels(c, floors=np.array([0.8, 0.8]))
+
+    def test_empty(self):
+        c = Cluster.from_matrices([1.0], np.zeros((0, 1)))
+        assert reference_levels(c).size == 0
+
+    def test_weighted(self):
+        c = Cluster.from_matrices([3.0], [[1.0], [1.0]], weights=[1.0, 2.0])
+        assert np.allclose(reference_levels(c), [1.0, 2.0], atol=1e-5)

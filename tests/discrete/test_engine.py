@@ -1,0 +1,117 @@
+"""Tests for the discrete slot scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.discrete.engine import DiscreteSimulator, _largest_remainder, simulate_discrete
+from repro.discrete.tasks import DiscreteJob, discretize_jobs
+from repro.model.site import Site
+from repro.sim.engine import simulate
+from repro.workload.generator import WorkloadSpec, generate_jobs, sites_for
+
+
+class TestLargestRemainder:
+    def test_exact_integers(self):
+        assert _largest_remainder({"a": 2.0, "b": 1.0}, 3) == {"a": 2, "b": 1}
+
+    def test_fractions_rounded_to_largest(self):
+        out = _largest_remainder({"a": 1.6, "b": 1.4}, 3)
+        assert out == {"a": 2, "b": 1}
+
+    def test_never_exceeds_slots(self):
+        out = _largest_remainder({"a": 0.9, "b": 0.9, "c": 0.9}, 2)
+        assert sum(out.values()) <= 2
+
+    def test_zero_shares_get_nothing_extra(self):
+        out = _largest_remainder({"a": 0.0, "b": 2.0}, 4)
+        assert out["a"] == 0
+
+    def test_deterministic_tie_break(self):
+        out1 = _largest_remainder({"a": 0.5, "b": 0.5}, 1)
+        out2 = _largest_remainder({"a": 0.5, "b": 0.5}, 1)
+        assert out1 == out2
+
+
+class TestSingleJob:
+    def test_waves(self):
+        # 4 tasks of 1s on 2 slots -> two waves -> JCT 2
+        res = simulate_discrete([Site("A", 2.0)], [DiscreteJob("x", {"A": (4, 1.0)})], "amf")
+        assert res.records[0].jct == pytest.approx(2.0)
+
+    def test_arrival_offset(self):
+        res = simulate_discrete([Site("A", 1.0)], [DiscreteJob("x", {"A": (1, 1.0)}, arrival=3.0)], "amf")
+        assert res.records[0].completion == pytest.approx(4.0)
+
+    def test_multi_site(self):
+        res = simulate_discrete(
+            [Site("A", 1.0), Site("B", 1.0)],
+            [DiscreteJob("x", {"A": (2, 1.0), "B": (1, 3.0)})],
+            "amf",
+        )
+        # A side takes 2 waves (2s); B side one 3s task -> JCT 3
+        assert res.records[0].jct == pytest.approx(3.0)
+
+    def test_isolated_time_computed(self):
+        res = simulate_discrete([Site("A", 2.0)], [DiscreteJob("x", {"A": (4, 1.0)})], "amf")
+        assert res.records[0].isolated_time == pytest.approx(2.0)
+        assert res.records[0].slowdown == pytest.approx(1.0)
+
+
+class TestFairSharing:
+    def test_two_jobs_share_slots(self):
+        jobs = [DiscreteJob("a", {"A": (4, 1.0)}), DiscreteJob("b", {"A": (4, 1.0)})]
+        res = simulate_discrete([Site("A", 2.0)], jobs, "amf")
+        assert res.n_finished == 2
+        # each gets ~1 slot -> 4 waves
+        for r in res.records:
+            assert r.jct == pytest.approx(4.0)
+
+    def test_work_conserving_backfill(self):
+        # one job with lots of tasks, one with a single task: all slots busy
+        jobs = [DiscreteJob("big", {"A": (8, 1.0)}), DiscreteJob("small", {"A": (1, 1.0)})]
+        res = simulate_discrete([Site("A", 3.0)], jobs, "amf")
+        assert res.makespan == pytest.approx(3.0)  # 9 task-seconds on 3 slots
+
+    def test_no_preemption(self):
+        """A long task keeps its slot even when fair shares shift."""
+        jobs = [
+            DiscreteJob("long", {"A": (1, 10.0)}),
+            DiscreteJob("late", {"A": (5, 1.0)}, arrival=1.0),
+        ]
+        res = simulate_discrete([Site("A", 1.0)], jobs, "amf")
+        by = {r.name: r for r in res.records}
+        assert by["long"].completion == pytest.approx(10.0)
+        assert by["late"].completion == pytest.approx(15.0)
+
+    def test_requires_whole_slot(self):
+        with pytest.raises(ValueError, match="whole slot"):
+            DiscreteSimulator([Site("A", 0.5)], [DiscreteJob("x", {"A": (1, 1.0)})], "amf")
+
+
+class TestAgainstFluid:
+    def test_fine_granularity_approaches_fluid(self):
+        spec = WorkloadSpec(n_jobs=10, n_sites=3, theta=1.0, demand_scale=None, mean_work=20.0)
+        rng = np.random.default_rng(1)
+        jobs = generate_jobs(spec, rng)
+        sites = [Site(s.name, max(2.0, float(int(s.capacity)))) for s in sites_for(spec, jobs)]
+        fluid = simulate(sites, jobs, "amf").mean_jct
+        fine = simulate_discrete(sites, discretize_jobs(jobs, 6.0), "amf").mean_jct
+        assert fine == pytest.approx(fluid, rel=0.12)
+
+    def test_all_jobs_finish(self):
+        spec = WorkloadSpec(n_jobs=15, n_sites=4, theta=1.5, mean_work=15.0)
+        rng = np.random.default_rng(2)
+        jobs = generate_jobs(spec, rng)
+        sites = [Site(s.name, max(2.0, float(int(s.capacity)))) for s in sites_for(spec, jobs)]
+        for policy in ("psmf", "amf"):
+            res = simulate_discrete(sites, discretize_jobs(jobs, 1.0), policy)
+            assert res.n_finished == 15
+
+    def test_deterministic(self):
+        spec = WorkloadSpec(n_jobs=8, n_sites=3, theta=1.0)
+        rng = np.random.default_rng(3)
+        jobs = discretize_jobs(generate_jobs(spec, rng), 1.0)
+        sites = [Site(f"s{k}", 3.0) for k in range(3)]
+        r1 = simulate_discrete(sites, jobs, "amf")
+        r2 = simulate_discrete(sites, jobs, "amf")
+        assert [x.completion for x in r1.records] == [x.completion for x in r2.records]

@@ -1,0 +1,106 @@
+"""Unit tests for the job-site feasibility network."""
+
+import numpy as np
+import pytest
+
+from repro.flownet.bipartite import build_network, max_feasible_allocation, targets_feasible
+from repro.model.cluster import Cluster
+
+
+def cluster2x2() -> Cluster:
+    return Cluster.from_matrices(
+        capacities=[1.0, 2.0],
+        workloads=[[1.0, 1.0], [0.0, 1.0]],
+        demand_caps=[[np.inf, np.inf], [np.inf, 0.5]],
+    )
+
+
+class TestFeasibility:
+    def test_zero_targets_always_feasible(self):
+        assert targets_feasible(cluster2x2(), np.zeros(2))
+
+    def test_targets_within_capacity(self):
+        assert targets_feasible(cluster2x2(), np.array([1.0, 0.5]))
+
+    def test_capacity_violation_detected(self):
+        # job 0 can take at most 1 + 2 = 3
+        assert not targets_feasible(cluster2x2(), np.array([3.5, 0.0]))
+
+    def test_demand_cap_violation_detected(self):
+        # job 1 only reaches site 1, cap 0.5
+        assert not targets_feasible(cluster2x2(), np.array([0.0, 0.6]))
+
+    def test_support_restriction(self):
+        # job 1 cannot use site 0 at all
+        c = Cluster.from_matrices([5.0, 0.1], [[1.0, 1.0], [0.0, 1.0]])
+        assert not targets_feasible(c, np.array([0.0, 0.2]))
+
+    def test_shared_bottleneck(self):
+        c = Cluster.from_matrices([1.0], [[1.0], [1.0]])
+        assert targets_feasible(c, np.array([0.5, 0.5]))
+        assert not targets_feasible(c, np.array([0.6, 0.5]))
+
+
+class TestOutcome:
+    def test_cut_identifies_bottleneck_jobs_and_sites(self):
+        # jobs 0,1 share a unit site; target 0.6 each is infeasible
+        c = Cluster.from_matrices([1.0, 10.0], [[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        net = build_network(c, np.array([0.6, 0.6, 1.0]))
+        out = net.solve()
+        assert not out.feasible
+        assert out.cut_jobs == {0, 1}
+        assert out.cut_sites == {0}
+
+    def test_feasible_outcome_flow_matches_demand(self):
+        c = cluster2x2()
+        net = build_network(c, np.array([1.0, 0.5]))
+        out = net.solve()
+        assert out.feasible
+        assert out.flow_value == pytest.approx(1.5)
+
+
+class TestAllocationExtraction:
+    def test_matrix_respects_everything(self):
+        c = cluster2x2()
+        mat = max_feasible_allocation(c, np.array([2.0, 0.5]))
+        assert mat.shape == (2, 2)
+        assert (mat >= -1e-12).all()
+        assert mat[1, 0] == 0.0  # outside support
+        assert mat[1, 1] <= 0.5 + 1e-9  # demand cap
+        assert mat.sum(axis=0)[0] <= 1.0 + 1e-9
+        assert mat.sum(axis=0)[1] <= 2.0 + 1e-9
+
+    def test_aggregates_match_feasible_targets(self):
+        c = cluster2x2()
+        targets = np.array([1.5, 0.5])
+        mat = max_feasible_allocation(c, targets)
+        assert np.allclose(mat.sum(axis=1), targets, atol=1e-9)
+
+
+class TestIncrementalTargets:
+    def test_raising_targets_keeps_flow(self):
+        c = cluster2x2()
+        net = build_network(c, np.array([0.5, 0.1]))
+        assert net.solve().feasible
+        net.set_targets(np.array([1.0, 0.5]))
+        out = net.solve()
+        assert out.feasible
+        assert out.demanded == pytest.approx(1.5)
+
+    def test_lowering_targets_resets(self):
+        c = cluster2x2()
+        net = build_network(c, np.array([1.0, 0.5]))
+        net.solve()
+        net.set_targets(np.array([0.2, 0.2]))
+        out = net.solve()
+        assert out.feasible
+        assert out.flow_value == pytest.approx(0.4)
+
+    def test_interleaved_raises_and_drops(self):
+        c = cluster2x2()
+        net = build_network(c, np.zeros(2))
+        for targets in ([0.3, 0.1], [0.9, 0.4], [0.1, 0.0], [1.0, 0.5]):
+            net.set_targets(np.array(targets))
+            out = net.solve()
+            assert out.feasible
+            assert out.flow_value == pytest.approx(sum(targets), abs=1e-8)

@@ -1,0 +1,111 @@
+"""Unit tests for flows with per-edge lower bounds."""
+
+import numpy as np
+import pytest
+
+from repro.flownet.graph import INF
+from repro.flownet.lower_bounds import BoundedEdge, feasible_flow_with_lower_bounds
+
+
+class TestBoundedEdge:
+    def test_valid(self):
+        e = BoundedEdge("a", "b", 1.0, 2.0)
+        assert e.lower == 1.0 and e.upper == 2.0
+
+    def test_rejects_negative_lower(self):
+        with pytest.raises(ValueError):
+            BoundedEdge("a", "b", -1.0, 2.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            BoundedEdge("a", "b", 3.0, 2.0)
+
+    def test_equal_bounds_allowed(self):
+        BoundedEdge("a", "b", 2.0, 2.0)
+
+
+def flows_valid(edges, flows):
+    """Every original edge's flow within its bounds, conservation at internal nodes."""
+    for e in edges:
+        f = flows[(e.tail, e.head)]
+        assert f >= e.lower - 1e-7
+        assert f <= e.upper + 1e-7
+
+
+class TestFeasibleFlow:
+    def test_simple_feasible(self):
+        edges = [BoundedEdge("s", "a", 1.0, 3.0), BoundedEdge("a", "t", 1.0, 3.0)]
+        flows = feasible_flow_with_lower_bounds(edges, "s", "t")
+        assert flows is not None
+        flows_valid(edges, flows)
+        assert flows[("s", "a")] == pytest.approx(flows[("a", "t")], abs=1e-9)
+
+    def test_infeasible_bottleneck(self):
+        # s->a must carry >= 2 but a->t can carry at most 1
+        edges = [BoundedEdge("s", "a", 2.0, 3.0), BoundedEdge("a", "t", 0.0, 1.0)]
+        assert feasible_flow_with_lower_bounds(edges, "s", "t") is None
+
+    def test_exact_pinned_edge(self):
+        edges = [BoundedEdge("s", "a", 2.0, 2.0), BoundedEdge("a", "t", 0.0, 5.0)]
+        flows = feasible_flow_with_lower_bounds(edges, "s", "t")
+        assert flows is not None
+        assert flows[("s", "a")] == pytest.approx(2.0)
+
+    def test_flow_value_pinned(self):
+        edges = [BoundedEdge("s", "a", 0.0, 5.0), BoundedEdge("a", "t", 0.0, 5.0)]
+        flows = feasible_flow_with_lower_bounds(edges, "s", "t", flow_value=3.0)
+        assert flows is not None
+        assert flows[("s", "a")] == pytest.approx(3.0)
+
+    def test_flow_value_infeasible(self):
+        edges = [BoundedEdge("s", "a", 0.0, 5.0), BoundedEdge("a", "t", 0.0, 2.0)]
+        assert feasible_flow_with_lower_bounds(edges, "s", "t", flow_value=3.0) is None
+
+    def test_diamond_with_lower_bounds(self):
+        edges = [
+            BoundedEdge("s", "a", 1.0, 4.0),
+            BoundedEdge("s", "b", 1.0, 4.0),
+            BoundedEdge("a", "t", 0.0, 2.0),
+            BoundedEdge("b", "t", 0.0, 2.0),
+        ]
+        flows = feasible_flow_with_lower_bounds(edges, "s", "t")
+        assert flows is not None
+        flows_valid(edges, flows)
+
+    def test_parallel_edges_accumulate(self):
+        edges = [
+            BoundedEdge("s", "a", 1.0, 1.0),
+            BoundedEdge("s", "a", 1.0, 1.0),
+            BoundedEdge("a", "t", 0.0, 5.0),
+        ]
+        flows = feasible_flow_with_lower_bounds(edges, "s", "t")
+        assert flows is not None
+        assert flows[("s", "a")] == pytest.approx(2.0)
+
+    def test_infinite_upper(self):
+        edges = [BoundedEdge("s", "a", 1.0, INF), BoundedEdge("a", "t", 0.0, INF)]
+        flows = feasible_flow_with_lower_bounds(edges, "s", "t")
+        assert flows is not None
+        assert flows[("s", "a")] >= 1.0 - 1e-9
+
+    def test_conservation_random(self):
+        rng = np.random.default_rng(9)
+        for _ in range(10):
+            # random bipartite with safe lower bounds (<= a feasible proportional flow)
+            n, m = 3, 3
+            edges = [BoundedEdge("s", ("l", i), 0.0, 10.0) for i in range(n)]
+            for i in range(n):
+                for j in range(m):
+                    edges.append(BoundedEdge(("l", i), ("r", j), float(rng.uniform(0, 0.2)), 5.0))
+            edges += [BoundedEdge(("r", j), "t", 0.0, 10.0) for j in range(m)]
+            flows = feasible_flow_with_lower_bounds(edges, "s", "t")
+            assert flows is not None
+            # conservation at every internal node
+            for i in range(n):
+                inflow = flows[("s", ("l", i))]
+                outflow = sum(flows[(("l", i), ("r", j))] for j in range(m))
+                assert inflow == pytest.approx(outflow, abs=1e-6)
+            for j in range(m):
+                inflow = sum(flows[(("l", i), ("r", j))] for i in range(n))
+                outflow = flows[(("r", j), "t")]
+                assert inflow == pytest.approx(outflow, abs=1e-6)

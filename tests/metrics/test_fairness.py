@@ -1,0 +1,93 @@
+"""Tests for balance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.amf import solve_amf
+from repro.core.persite import solve_psmf
+from repro.metrics.fairness import (
+    balance_report,
+    coefficient_of_variation,
+    jain_index,
+    min_max_ratio,
+)
+from repro.model.cluster import Cluster
+
+
+class TestJain:
+    def test_equal_is_one(self):
+        assert jain_index(np.array([2.0, 2.0, 2.0])) == pytest.approx(1.0)
+
+    def test_single_holder_is_one_over_n(self):
+        assert jain_index(np.array([1.0, 0.0, 0.0, 0.0])) == pytest.approx(0.25)
+
+    def test_empty_is_one(self):
+        assert jain_index(np.array([])) == 1.0
+
+    def test_all_zero_is_one(self):
+        assert jain_index(np.zeros(3)) == 1.0
+
+    def test_scale_invariant(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert jain_index(v) == pytest.approx(jain_index(10 * v))
+
+
+class TestCov:
+    def test_equal_is_zero(self):
+        assert coefficient_of_variation(np.array([3.0, 3.0])) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        v = np.array([1.0, 3.0])
+        assert coefficient_of_variation(v) == pytest.approx(0.5)
+
+    def test_empty_is_zero(self):
+        assert coefficient_of_variation(np.array([])) == 0.0
+
+
+class TestMinMax:
+    def test_equal_is_one(self):
+        assert min_max_ratio(np.array([2.0, 2.0])) == pytest.approx(1.0)
+
+    def test_starved_is_zero(self):
+        assert min_max_ratio(np.array([0.0, 5.0])) == pytest.approx(0.0)
+
+    def test_all_zero_is_one(self):
+        assert min_max_ratio(np.zeros(2)) == 1.0
+
+
+class TestBalanceReport:
+    def test_amf_perfectly_balanced_when_unconstrained(self):
+        c = Cluster.from_matrices([4.0], [[1.0], [1.0]])
+        rep = balance_report(solve_amf(c))
+        assert rep.jain == pytest.approx(1.0)
+        assert rep.cov == pytest.approx(0.0, abs=1e-9)
+        assert rep.min_max == pytest.approx(1.0)
+
+    def test_psmf_imbalance_visible(self):
+        c = Cluster.from_matrices([1.0, 1.0], [[1.0, 0.0], [1.0, 0.0], [1.0, 1.0]])
+        rep_psmf = balance_report(solve_psmf(c))
+        rep_amf = balance_report(solve_amf(c))
+        assert rep_amf.jain > rep_psmf.jain
+
+    def test_saturated_jobs_excluded(self):
+        # one job demand-saturated tiny; the others equal -> still "balanced"
+        c = Cluster.from_matrices([3.0], [[1.0], [1.0], [1.0]], [[0.1], [np.inf], [np.inf]])
+        rep = balance_report(solve_amf(c))
+        assert rep.jain == pytest.approx(1.0)
+
+    def test_all_saturated_falls_back_to_levels(self):
+        c = Cluster.from_matrices([10.0], [[1.0], [1.0]], [[1.0], [2.0]])
+        rep = balance_report(solve_amf(c))
+        assert 0.0 < rep.jain <= 1.0
+
+    def test_report_row(self):
+        c = Cluster.from_matrices([2.0], [[1.0], [1.0]])
+        row = balance_report(solve_amf(c)).row()
+        assert {"jain", "cov", "min_max", "min_level", "max_level", "utilization"} == set(row)
+
+    def test_weighted_levels_used(self):
+        c = Cluster.from_matrices([3.0], [[1.0], [1.0]], weights=[1.0, 2.0])
+        rep = balance_report(solve_amf(c))
+        # weighted max-min equalizes A/w, so the normalized report is balanced
+        assert rep.jain == pytest.approx(1.0)

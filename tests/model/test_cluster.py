@@ -1,0 +1,159 @@
+"""Unit tests for repro.model.cluster."""
+
+import numpy as np
+import pytest
+
+from repro.model.cluster import Cluster
+from repro.model.job import Job
+from repro.model.site import Site
+
+
+def small() -> Cluster:
+    sites = [Site("A", 2.0), Site("B", 3.0)]
+    jobs = [
+        Job("x", {"A": 1.0}),
+        Job("y", {"A": 1.0, "B": 4.0}, demand={"B": 0.5}),
+    ]
+    return Cluster(sites, jobs)
+
+
+class TestConstruction:
+    def test_requires_sites(self):
+        with pytest.raises(ValueError, match="at least one site"):
+            Cluster([], [])
+
+    def test_duplicate_site_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            Cluster([Site("A", 1.0), Site("A", 2.0)], [])
+
+    def test_duplicate_job_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            Cluster([Site("A", 1.0)], [Job("x", {"A": 1.0}), Job("x", {"A": 2.0})])
+
+    def test_unknown_site_reference_rejected(self):
+        with pytest.raises(ValueError, match="unknown sites"):
+            Cluster([Site("A", 1.0)], [Job("x", {"B": 1.0})])
+
+    def test_empty_jobs_allowed(self):
+        c = Cluster([Site("A", 1.0)], [])
+        assert c.n_jobs == 0
+
+
+class TestViews:
+    def test_capacities(self):
+        assert small().capacities.tolist() == [2.0, 3.0]
+
+    def test_workload_matrix(self):
+        W = small().workloads
+        assert W.tolist() == [[1.0, 0.0], [1.0, 4.0]]
+
+    def test_support_mask(self):
+        S = small().support
+        assert S.tolist() == [[True, False], [True, True]]
+
+    def test_demand_caps_clip_to_capacity(self):
+        D = small().demand_caps
+        # x uncapped at A -> site capacity 2; y capped 0.5 at B
+        assert D[0, 0] == 2.0
+        assert D[1, 1] == 0.5
+        assert D[0, 1] == 0.0  # outside support
+
+    def test_aggregate_demand(self):
+        c = small()
+        assert np.allclose(c.aggregate_demand, [2.0, 2.0 + 0.5])
+
+    def test_views_are_readonly(self):
+        c = small()
+        with pytest.raises(ValueError):
+            c.capacities[0] = 99.0
+        with pytest.raises(ValueError):
+            c.workloads[0, 0] = 99.0
+
+    def test_total_capacity(self):
+        assert small().total_capacity == 5.0
+
+    def test_indexing(self):
+        c = small()
+        assert c.job_index("y") == 1
+        assert c.site_index("B") == 1
+        assert c.job("y").name == "y"
+        assert c.site("B").capacity == 3.0
+
+
+class TestDerivedInstances:
+    def test_without_job(self):
+        c = small().without_job("x")
+        assert c.n_jobs == 1
+        assert c.jobs[0].name == "y"
+
+    def test_without_unknown_job(self):
+        with pytest.raises(ValueError, match="unknown job"):
+            small().without_job("nope")
+
+    def test_with_job(self):
+        c = small().with_job(Job("z", {"B": 1.0}))
+        assert c.n_jobs == 3
+
+    def test_replace_job(self):
+        c = small().replace_job(Job("x", {"B": 9.0}))
+        assert c.job("x").support == {"B"}
+        assert c.n_jobs == 2
+
+    def test_replace_preserves_order(self):
+        c = small().replace_job(Job("x", {"B": 9.0}))
+        assert [j.name for j in c.jobs] == ["x", "y"]
+
+    def test_restricted_to_jobs(self):
+        c = small().restricted_to_jobs(["y"])
+        assert [j.name for j in c.jobs] == ["y"]
+
+    def test_originals_untouched(self):
+        c = small()
+        c.without_job("x")
+        assert c.n_jobs == 2
+
+
+class TestFromMatrices:
+    def test_roundtrip(self):
+        c = Cluster.from_matrices([2.0, 3.0], [[1.0, 0.0], [1.0, 4.0]], [[np.inf, np.inf], [np.inf, 0.5]])
+        assert c.n_jobs == 2
+        assert c.demand_caps[1, 1] == 0.5
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Cluster.from_matrices([1.0], [[1.0, 2.0]])
+
+    def test_rejects_nan_caps(self):
+        with pytest.raises(ValueError, match="NaN"):
+            Cluster.from_matrices([1.0], [[1.0]], [[np.nan]])
+
+    def test_names(self):
+        c = Cluster.from_matrices([1.0], [[1.0]], site_names=["east"], job_names=["spark"])
+        assert c.sites[0].name == "east"
+        assert c.jobs[0].name == "spark"
+
+    def test_weights(self):
+        c = Cluster.from_matrices([1.0], [[1.0], [1.0]], weights=[1.0, 2.0])
+        assert c.weights.tolist() == [1.0, 2.0]
+
+    def test_uniform_factory(self):
+        c = Cluster.uniform(3, 2, capacity=5.0, work=1.5)
+        assert c.n_jobs == 3 and c.n_sites == 2
+        assert (c.workloads == 1.5).all()
+        assert (c.capacities == 5.0).all()
+
+
+class TestEntitlements:
+    def test_uniform_case(self):
+        c = Cluster.uniform(4, 2, capacity=8.0)
+        # each of 4 jobs entitled to 8/4 = 2 per site over full support
+        assert np.allclose(c.equal_partition_entitlements(), [4.0] * 4)
+
+    def test_caps_bound_entitlement(self, two_site_cluster):
+        e = two_site_cluster.equal_partition_entitlements()
+        assert np.allclose(e, [1 / 3, 1 / 3, 1 / 3 + 0.2])
+
+    def test_weighted_entitlements(self):
+        c = Cluster.from_matrices([3.0], [[1.0], [1.0]], weights=[1.0, 2.0])
+        e = c.equal_partition_entitlements()
+        assert np.allclose(e, [1.0, 2.0])

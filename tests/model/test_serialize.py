@@ -1,0 +1,91 @@
+"""Tests for JSON serialization of clusters and allocations."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.amf import solve_amf
+from repro.model.cluster import Cluster
+from repro.model.job import Job
+from repro.model.serialize import (
+    allocation_from_dict,
+    allocation_to_dict,
+    cluster_from_dict,
+    cluster_to_dict,
+    load_allocation,
+    load_cluster,
+    save_allocation,
+    save_cluster,
+)
+from repro.model.site import Site
+
+
+def rich_cluster() -> Cluster:
+    return Cluster(
+        sites=[Site("east", 2.0, tags=("eu",)), Site("west", 3.0)],
+        jobs=[
+            Job("a", {"east": 1.0, "west": 2.0}, demand={"west": 0.5}, weight=2.0, arrival=1.5),
+            Job("b", {"west": 1.0}),
+        ],
+    )
+
+
+class TestClusterRoundtrip:
+    def test_roundtrip_preserves_everything(self):
+        c = rich_cluster()
+        c2 = cluster_from_dict(cluster_to_dict(c))
+        assert [s.name for s in c2.sites] == ["east", "west"]
+        assert c2.sites[0].tags == ("eu",)
+        assert np.allclose(c2.capacities, c.capacities)
+        assert np.allclose(c2.workloads, c.workloads)
+        assert np.allclose(c2.demand_caps, c.demand_caps)
+        assert np.allclose(c2.weights, c.weights)
+        assert c2.job("a").arrival == 1.5
+
+    def test_dict_is_json_safe(self):
+        text = json.dumps(cluster_to_dict(rich_cluster()))
+        assert "Infinity" not in text
+
+    def test_defaults_omitted(self):
+        d = cluster_to_dict(rich_cluster())
+        job_b = d["jobs"][1]
+        assert "weight" not in job_b and "arrival" not in job_b and "demand" not in job_b
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="unsupported cluster format"):
+            cluster_from_dict({"format": "nope"})
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        save_cluster(rich_cluster(), path)
+        c2 = load_cluster(path)
+        assert c2.n_jobs == 2
+
+
+class TestAllocationRoundtrip:
+    def test_roundtrip(self):
+        c = rich_cluster()
+        a = solve_amf(c)
+        a2 = allocation_from_dict(allocation_to_dict(a))
+        assert np.allclose(a2.matrix, a.matrix, atol=1e-12)
+        assert a2.policy == "amf"
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="unsupported allocation format"):
+            allocation_from_dict({"format": "nope"})
+
+    def test_tampered_matrix_rejected_on_load(self, tmp_path):
+        c = rich_cluster()
+        a = solve_amf(c)
+        d = allocation_to_dict(a)
+        d["matrix"][0][0] = 99.0  # violates site capacity
+        with pytest.raises(ValueError):
+            allocation_from_dict(d)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "alloc.json"
+        a = solve_amf(rich_cluster())
+        save_allocation(a, path)
+        a2 = load_allocation(path)
+        assert np.allclose(a2.aggregates, a.aggregates)

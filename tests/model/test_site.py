@@ -1,0 +1,43 @@
+"""Unit tests for repro.model.site."""
+
+import pytest
+
+from repro.model.site import Site
+
+
+class TestSite:
+    def test_basic(self):
+        s = Site("dc1", 100.0)
+        assert s.name == "dc1"
+        assert s.capacity == 100.0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError, match="positive"):
+            Site("dc1", 0.0)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError, match="positive"):
+            Site("dc1", -1.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Site("", 1.0)
+
+    def test_is_frozen(self):
+        s = Site("dc1", 1.0)
+        with pytest.raises(AttributeError):
+            s.capacity = 2.0  # type: ignore[misc]
+
+    def test_scaled(self):
+        s = Site("dc1", 2.0, tags=("eu",))
+        big = s.scaled(2.5)
+        assert big.capacity == 5.0
+        assert big.name == "dc1"
+        assert big.tags == ("eu",)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Site("dc1", 1.0).scaled(-1.0)
+
+    def test_tags_default_empty(self):
+        assert Site("x", 1.0).tags == ()

@@ -1,0 +1,64 @@
+"""Unit tests for repro.model.validation."""
+
+import numpy as np
+
+from repro.model.cluster import Cluster
+from repro.model.job import Job
+from repro.model.site import Site
+from repro.model.validation import gini, validate_instance
+
+
+class TestGini:
+    def test_equal_vector_is_zero(self):
+        assert gini(np.array([1.0, 1.0, 1.0])) < 1e-12
+
+    def test_concentrated_vector_near_one(self):
+        v = np.zeros(100)
+        v[0] = 1.0
+        assert gini(v) > 0.95
+
+    def test_empty_is_zero(self):
+        assert gini(np.array([])) == 0.0
+
+    def test_zero_sum_is_zero(self):
+        assert gini(np.zeros(5)) == 0.0
+
+    def test_monotone_in_skew(self):
+        mild = gini(np.array([1.0, 1.0, 2.0]))
+        strong = gini(np.array([0.1, 0.1, 10.0]))
+        assert strong > mild
+
+
+class TestValidateInstance:
+    def test_clean_instance(self):
+        c = Cluster.from_matrices([1.0, 1.0], [[2.0, 2.0], [2.0, 2.0]], [[1.0, 1.0], [1.0, 1.0]])
+        rep = validate_instance(c)
+        assert rep.ok
+        assert rep.n_jobs == 2 and rep.n_sites == 2
+        assert rep.contention_ratio == 2.0
+        assert not rep.warnings
+
+    def test_dead_site_warning(self):
+        c = Cluster([Site("A", 1.0), Site("B", 1.0)], [Job("x", {"A": 1.0})])
+        rep = validate_instance(c)
+        assert any("'B'" in w and "no workload" in w for w in rep.warnings)
+
+    def test_zero_demand_job_warning(self):
+        c = Cluster([Site("A", 1.0)], [Job("x", {"A": 1.0}, demand={"A": 0.0})])
+        rep = validate_instance(c)
+        assert any("zero aggregate demand" in w for w in rep.warnings)
+
+    def test_uncontended_warning(self):
+        c = Cluster.from_matrices([10.0], [[1.0]], [[0.5]])
+        rep = validate_instance(c)
+        assert any("uncontended" in w for w in rep.warnings)
+
+    def test_report_renders(self):
+        c = Cluster.from_matrices([1.0], [[1.0]])
+        text = str(validate_instance(c))
+        assert "1 jobs x 1 sites" in text
+
+    def test_skew_gini_reflects_workload(self):
+        balanced = Cluster.from_matrices([1.0, 1.0], [[1.0, 1.0]])
+        skewed = Cluster.from_matrices([1.0, 1.0], [[10.0, 0.1]])
+        assert validate_instance(skewed).skew_gini > validate_instance(balanced).skew_gini

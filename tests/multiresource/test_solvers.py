@@ -1,0 +1,156 @@
+"""Tests for per-site DRF and AMRF solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.amf import amf_levels
+from repro.model.cluster import Cluster
+from repro.multiresource import MRCluster, MRJob, MRSite, amrf_shares, solve_amrf, solve_persite_drf
+
+
+def ghodsi() -> MRCluster:
+    """The canonical DRF example (Ghodsi et al., NSDI'11)."""
+    return MRCluster(
+        [MRSite("s", {"cpu": 9.0, "mem": 18.0})],
+        [
+            MRJob("A", {"cpu": 1.0, "mem": 4.0}, {"s": 100.0}),
+            MRJob("B", {"cpu": 3.0, "mem": 1.0}, {"s": 100.0}),
+        ],
+    )
+
+
+class TestPerSiteDrf:
+    def test_canonical_example(self):
+        rates = solve_persite_drf(ghodsi())
+        assert np.allclose(rates.ravel(), [3.0, 2.0], atol=1e-7)
+
+    def test_single_resource_reduces_to_waterfill(self):
+        c = MRCluster(
+            [MRSite("s", {"cpu": 6.0})],
+            [
+                MRJob("x", {"cpu": 1.0}, {"s": 1.0}),
+                MRJob("y", {"cpu": 1.0}, {"s": 100.0}),
+                MRJob("z", {"cpu": 1.0}, {"s": 100.0}),
+            ],
+        )
+        assert np.allclose(solve_persite_drf(c).ravel(), [1.0, 2.5, 2.5], atol=1e-7)
+
+    def test_sites_independent(self):
+        c = MRCluster(
+            [MRSite("A", {"cpu": 4.0}), MRSite("B", {"cpu": 2.0})],
+            [MRJob("x", {"cpu": 1.0}, {"A": 100.0}), MRJob("y", {"cpu": 1.0}, {"B": 100.0})],
+        )
+        rates = solve_persite_drf(c)
+        assert rates[0, 0] == pytest.approx(4.0)
+        assert rates[1, 1] == pytest.approx(2.0)
+
+    def test_task_caps_respected(self):
+        c = MRCluster(
+            [MRSite("s", {"cpu": 10.0})],
+            [MRJob("x", {"cpu": 1.0}, {"s": 2.0}), MRJob("y", {"cpu": 1.0}, {"s": 100.0})],
+        )
+        rates = solve_persite_drf(c)
+        assert rates[0, 0] == pytest.approx(2.0)
+        assert rates[1, 0] == pytest.approx(8.0)
+
+    def test_disjoint_resources_fill_independently(self):
+        # x uses only cpu, y only mem: neither blocks the other
+        c = MRCluster(
+            [MRSite("s", {"cpu": 4.0, "mem": 8.0})],
+            [MRJob("x", {"cpu": 1.0}, {"s": 100.0}), MRJob("y", {"mem": 1.0}, {"s": 100.0})],
+        )
+        rates = solve_persite_drf(c)
+        assert rates[0, 0] == pytest.approx(4.0, abs=1e-6)
+        assert rates[1, 0] == pytest.approx(8.0, abs=1e-6)
+
+
+class TestAmrf:
+    def test_single_site_matches_drf(self):
+        c = ghodsi()
+        drf_shares = c.aggregate_dominant_shares(solve_persite_drf(c))
+        assert np.allclose(amrf_shares(c), drf_shares, atol=1e-6)
+
+    def test_single_resource_matches_amf(self):
+        mr = MRCluster(
+            [MRSite("A", {"cpu": 1.0}), MRSite("B", {"cpu": 1.0})],
+            [
+                MRJob("a", {"cpu": 1.0}, {"A": 10.0}),
+                MRJob("b", {"cpu": 1.0}, {"A": 10.0}),
+                MRJob("s", {"cpu": 1.0}, {"A": 10.0, "B": 10.0}),
+            ],
+        )
+        aggregates = solve_amrf(mr).sum(axis=1)
+        flow = Cluster.from_matrices(
+            [1.0, 1.0],
+            [[10.0, 0.0], [10.0, 0.0], [10.0, 10.0]],
+            [[10.0, np.inf], [10.0, np.inf], [10.0, 10.0]],
+        )
+        assert np.allclose(aggregates, amf_levels(flow), atol=1e-6)
+
+    def test_cross_site_compensation(self):
+        """The AMF signature, in vector form: the spread job yields the hot site."""
+        mr = MRCluster(
+            [MRSite("hot", {"cpu": 4.0, "mem": 8.0}), MRSite("idle", {"cpu": 4.0, "mem": 8.0})],
+            [
+                MRJob("pinned", {"cpu": 1.0, "mem": 1.0}, {"hot": 100.0}),
+                MRJob("spread", {"cpu": 1.0, "mem": 1.0}, {"hot": 100.0, "idle": 100.0}),
+            ],
+        )
+        rates = solve_amrf(mr)
+        # pinned gets (nearly) the whole hot site's cpu
+        assert rates[0, 0] == pytest.approx(4.0, rel=1e-3)
+
+    def test_shares_weighted(self):
+        mr = MRCluster(
+            [MRSite("s", {"cpu": 3.0})],
+            [
+                MRJob("x", {"cpu": 1.0}, {"s": 100.0}, weight=1.0),
+                MRJob("y", {"cpu": 1.0}, {"s": 100.0}, weight=2.0),
+            ],
+        )
+        shares = amrf_shares(mr)
+        assert shares[1] / shares[0] == pytest.approx(2.0, rel=1e-4)
+
+    def test_rates_feasible_randomized(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            m, n = 3, 6
+            sites = [MRSite(f"s{j}", {"cpu": float(rng.uniform(4, 10)), "mem": float(rng.uniform(8, 30))}) for j in range(m)]
+            jobs = []
+            for i in range(n):
+                spread = int(rng.integers(1, m + 1))
+                chosen = rng.choice(m, size=spread, replace=False)
+                jobs.append(
+                    MRJob(
+                        f"j{i}",
+                        {"cpu": float(rng.uniform(0.5, 2.0)), "mem": float(rng.uniform(0.5, 6.0))},
+                        {f"s{j}": float(rng.uniform(2, 20)) for j in chosen},
+                    )
+                )
+            mr = MRCluster(sites, jobs)
+            solve_amrf(mr)  # validate_rates inside
+            solve_persite_drf(mr)
+
+    def test_amrf_at_least_as_balanced_as_drf(self):
+        """On the dominant-share Jain index, AMRF never loses (randomized)."""
+        from repro.metrics.fairness import jain_index
+
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            m, n = 3, 8
+            sites = [MRSite(f"s{j}", {"cpu": 10.0, "mem": 40.0}) for j in range(m)]
+            jobs = []
+            for i in range(n):
+                spread = int(rng.integers(1, 3))
+                chosen = rng.choice(m, size=spread, replace=False)
+                jobs.append(
+                    MRJob(
+                        f"j{i}",
+                        {"cpu": float(rng.uniform(0.5, 2.0)), "mem": float(rng.uniform(1.0, 8.0))},
+                        {f"s{j}": float(rng.uniform(5, 30)) for j in chosen},
+                    )
+                )
+            mr = MRCluster(sites, jobs)
+            drf = jain_index(mr.aggregate_dominant_shares(solve_persite_drf(mr)))
+            amrf = jain_index(mr.aggregate_dominant_shares(solve_amrf(mr)))
+            assert amrf >= drf - 1e-6

@@ -1,0 +1,84 @@
+"""Edge-case tests for the fluid simulator."""
+
+import numpy as np
+import pytest
+
+from repro.model.job import Job
+from repro.model.site import Site
+from repro.sim.engine import simulate
+
+
+class TestSimultaneousEvents:
+    def test_identical_arrivals(self):
+        jobs = [Job("a", {"A": 1.0}, arrival=2.0), Job("b", {"A": 1.0}, arrival=2.0)]
+        res = simulate([Site("A", 1.0)], jobs, "amf")
+        by = {r.name: r for r in res.records}
+        assert by["a"].completion == pytest.approx(4.0)
+        assert by["b"].completion == pytest.approx(4.0)
+
+    def test_identical_completions(self):
+        jobs = [Job("a", {"A": 1.0}), Job("b", {"B": 1.0})]
+        res = simulate([Site("A", 1.0), Site("B", 1.0)], jobs, "amf")
+        assert all(r.completion == pytest.approx(1.0) for r in res.records)
+
+    def test_arrival_exactly_at_completion(self):
+        jobs = [Job("a", {"A": 1.0}), Job("b", {"A": 1.0}, arrival=1.0)]
+        res = simulate([Site("A", 1.0)], jobs, "amf")
+        by = {r.name: r for r in res.records}
+        assert by["a"].completion == pytest.approx(1.0)
+        assert by["b"].completion == pytest.approx(2.0)
+
+
+class TestWeightedSimulation:
+    def test_weighted_rates_respected(self):
+        """A weight-3 job drains 3x faster while sharing."""
+        jobs = [
+            Job("heavy", {"A": 3.0}, weight=3.0),
+            Job("light", {"A": 1.0}, weight=1.0),
+        ]
+        res = simulate([Site("A", 1.0)], jobs, "amf")
+        by = {r.name: r for r in res.records}
+        # rates 0.75 vs 0.25: both finish at exactly t=4
+        assert by["heavy"].completion == pytest.approx(4.0)
+        assert by["light"].completion == pytest.approx(4.0)
+
+
+class TestLateAndGappedArrivals:
+    def test_idle_gap_between_jobs(self):
+        jobs = [Job("a", {"A": 1.0}), Job("b", {"A": 1.0}, arrival=10.0)]
+        res = simulate([Site("A", 1.0)], jobs, "amf")
+        by = {r.name: r for r in res.records}
+        assert by["a"].completion == pytest.approx(1.0)
+        assert by["b"].completion == pytest.approx(11.0)
+        # utilization integral counts only busy time
+        assert res.utilization_integral == pytest.approx(2.0)
+
+    def test_all_arrivals_late(self):
+        jobs = [Job("a", {"A": 2.0}, arrival=5.0)]
+        res = simulate([Site("A", 2.0)], jobs, "amf")
+        assert res.records[0].completion == pytest.approx(6.0)
+        assert res.horizon == pytest.approx(6.0)
+
+
+class TestCustomPolicyContracts:
+    def test_zero_allocation_policy_stalls_cleanly(self):
+        from repro.core.allocation import Allocation
+
+        def lazy(cluster):
+            return Allocation(cluster, np.zeros((cluster.n_jobs, cluster.n_sites)), policy="lazy")
+
+        res = simulate([Site("A", 1.0)], [Job("x", {"A": 1.0})], lazy)
+        assert res.stalled
+        assert res.n_finished == 0
+
+    def test_partial_allocation_policy_still_finishes(self):
+        """A policy using half the capacity is slow but correct."""
+        from repro.core.allocation import Allocation
+        from repro.core.persite import solve_psmf
+
+        def half(cluster):
+            full = solve_psmf(cluster)
+            return Allocation(cluster, full.matrix * 0.5, policy="half")
+
+        res = simulate([Site("A", 1.0)], [Job("x", {"A": 1.0})], half)
+        assert res.records[0].completion == pytest.approx(2.0)

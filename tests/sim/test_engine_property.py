@@ -1,0 +1,63 @@
+"""Property-based tests of the fluid simulator (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.job import Job
+from repro.model.site import Site
+from repro.sim.engine import simulate
+
+
+@st.composite
+def dynamic_instances(draw):
+    m = draw(st.integers(1, 3))
+    n = draw(st.integers(1, 5))
+    sites = [Site(f"s{j}", draw(st.floats(0.5, 3.0))) for j in range(m)]
+    jobs = []
+    for i in range(n):
+        support = sorted(draw(st.sets(st.integers(0, m - 1), min_size=1, max_size=m)))
+        workload = {f"s{j}": draw(st.floats(0.1, 3.0)) for j in support}
+        arrival = draw(st.floats(0.0, 2.0))
+        jobs.append(Job(f"j{i}", workload, arrival=arrival))
+    return sites, jobs
+
+
+class TestSimulatorInvariants:
+    @given(dynamic_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_and_completion(self, inst):
+        """Every job finishes; delivered resource equals total work."""
+        sites, jobs = inst
+        res = simulate(sites, jobs, "amf")
+        assert res.n_finished == len(jobs)
+        assert not res.stalled
+        total_work = sum(j.total_work for j in jobs)
+        assert res.utilization_integral == pytest.approx(total_work, rel=1e-5, abs=1e-6)
+
+    @given(dynamic_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_jct_at_least_isolated_time(self, inst):
+        """No job can beat its contention-free completion time."""
+        sites, jobs = inst
+        res = simulate(sites, jobs, "amf")
+        for rec in res.records:
+            assert rec.jct >= rec.isolated_time * (1.0 - 1e-6)
+
+    @given(dynamic_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_policies_agree_on_total_work(self, inst):
+        sites, jobs = inst
+        a = simulate(sites, jobs, "amf")
+        p = simulate(sites, jobs, "psmf")
+        assert a.utilization_integral == pytest.approx(p.utilization_integral, rel=1e-5, abs=1e-6)
+
+    @given(dynamic_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_doubling_capacity_never_hurts_makespan(self, inst):
+        sites, jobs = inst
+        slow = simulate(sites, jobs, "amf")
+        fast = simulate([s.scaled(2.0) for s in sites], jobs, "amf")
+        if slow.n_finished == len(jobs):
+            assert fast.makespan <= slow.makespan + 1e-6

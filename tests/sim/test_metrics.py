@@ -1,0 +1,72 @@
+"""Tests for simulation metrics containers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import JobRecord, SimulationResult
+
+
+def rec(name="x", arrival=0.0, completion=2.0, work=1.0, iso=1.0) -> JobRecord:
+    return JobRecord(name=name, arrival=arrival, completion=completion, total_work=work, isolated_time=iso)
+
+
+class TestJobRecord:
+    def test_jct(self):
+        assert rec(arrival=1.0, completion=3.0).jct == pytest.approx(2.0)
+
+    def test_slowdown(self):
+        assert rec(completion=2.0, iso=0.5).slowdown == pytest.approx(4.0)
+
+    def test_slowdown_zero_isolated(self):
+        assert np.isinf(rec(iso=0.0).slowdown)
+
+    def test_finished(self):
+        assert rec().finished
+        assert not rec(completion=np.inf).finished
+
+
+class TestSimulationResult:
+    def make(self) -> SimulationResult:
+        res = SimulationResult(policy="p", total_capacity=10.0, horizon=4.0, utilization_integral=20.0)
+        res.records = [
+            rec("a", 0.0, 1.0),
+            rec("b", 0.0, 3.0),
+            rec("c", 1.0, np.inf),
+        ]
+        return res
+
+    def test_counts(self):
+        res = self.make()
+        assert res.n_finished == 2
+        assert len(res.records) == 3
+
+    def test_jcts_finished_only(self):
+        res = self.make()
+        assert sorted(res.jcts().tolist()) == [1.0, 3.0]
+
+    def test_mean_median(self):
+        res = self.make()
+        assert res.mean_jct == pytest.approx(2.0)
+        assert res.median_jct == pytest.approx(2.0)
+
+    def test_percentile(self):
+        res = self.make()
+        assert res.jct_percentile(100) == pytest.approx(3.0)
+
+    def test_makespan(self):
+        assert self.make().makespan == pytest.approx(3.0)
+
+    def test_avg_utilization(self):
+        assert self.make().avg_utilization == pytest.approx(0.5)
+
+    def test_empty_stats_are_nan(self):
+        res = SimulationResult(policy="p")
+        assert np.isnan(res.mean_jct)
+        assert np.isnan(res.makespan)
+
+    def test_summary_keys(self):
+        s = self.make().summary()
+        assert {"n_jobs", "mean_jct", "p95_jct", "makespan", "mean_slowdown", "avg_utilization"} <= set(s)
+
+    def test_str_renders(self):
+        assert "mean JCT" in str(self.make())

@@ -1,0 +1,66 @@
+"""Tests for the TimedPolicy instrumentation wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.persite import solve_psmf
+from repro.model.job import Job
+from repro.model.site import Site
+from repro.sim.engine import simulate
+from repro.sim.scheduler import SolveStats, TimedPolicy
+
+
+class TestSolveStats:
+    def test_empty_stats(self):
+        s = SolveStats()
+        assert np.isnan(s.mean_ms)
+        assert np.isnan(s.mean_active_jobs)
+        assert np.isnan(s.percentile_ms(50))
+
+    def test_aggregation(self):
+        s = SolveStats()
+        s.solves = 2
+        s.total_seconds = 0.004
+        s.max_seconds = 0.003
+        s.total_jobs_seen = 10
+        s.samples = [0.001, 0.003]
+        assert s.mean_ms == pytest.approx(2.0)
+        assert s.max_ms == pytest.approx(3.0)
+        assert s.mean_active_jobs == pytest.approx(5.0)
+        assert s.percentile_ms(100) == pytest.approx(3.0)
+
+
+class TestTimedPolicy:
+    def test_by_name(self):
+        timed = TimedPolicy("psmf")
+        assert timed.__name__ == "psmf"
+
+    def test_by_callable(self):
+        timed = TimedPolicy(solve_psmf)
+        assert timed.__name__ == "solve_psmf"
+
+    def test_counts_solves_in_simulation(self):
+        timed = TimedPolicy("amf")
+        jobs = [Job("x", {"A": 1.0}), Job("y", {"A": 2.0})]
+        res = simulate([Site("A", 1.0)], jobs, timed)
+        assert timed.stats.solves == res.n_policy_solves
+        assert timed.stats.total_seconds > 0.0
+        assert timed.stats.mean_active_jobs >= 1.0
+
+    def test_allocation_passthrough(self):
+        from repro.model.cluster import Cluster
+
+        c = Cluster.from_matrices([2.0], [[1.0], [1.0]])
+        timed = TimedPolicy("amf")
+        alloc = timed(c)
+        assert np.allclose(alloc.aggregates, [1.0, 1.0])
+        assert timed.stats.solves == 1
+
+    def test_samples_optional(self):
+        from repro.model.cluster import Cluster
+
+        c = Cluster.from_matrices([2.0], [[1.0]])
+        timed = TimedPolicy("psmf", keep_samples=False)
+        timed(c)
+        assert timed.stats.samples == []
+        assert timed.stats.solves == 1

@@ -1,0 +1,46 @@
+"""Keep the worked examples in docs/model.md honest."""
+
+import numpy as np
+
+from repro import Cluster, Job, Site, solve_amf, solve_amf_enhanced, solve_psmf
+
+
+class TestModelDocExamples:
+    def test_per_site_vs_aggregate_example(self):
+        cluster = Cluster(
+            sites=[Site("A", 1.0), Site("B", 1.0)],
+            jobs=[
+                Job("a", {"A": 1.0}),
+                Job("b", {"A": 1.0}),
+                Job("s", {"A": 0.5, "B": 1.5}),
+            ],
+        )
+        assert np.allclose(solve_psmf(cluster).aggregates, [1 / 3, 1 / 3, 4 / 3])
+        assert np.allclose(solve_amf(cluster).aggregates, [0.5, 0.5, 1.0], atol=1e-8)
+
+    def test_sharing_incentive_example(self):
+        cluster = Cluster(
+            sites=[Site("A", 1.0), Site("B", 1.0)],
+            jobs=[
+                Job("a", {"A": 1.0}),
+                Job("b", {"A": 1.0}),
+                Job("c", {"A": 1.0, "B": 0.2}, demand={"B": 0.2}),
+            ],
+        )
+        assert np.allclose(cluster.equal_partition_entitlements(), [1 / 3, 1 / 3, 1 / 3 + 0.2])
+        assert np.allclose(solve_amf(cluster).aggregates, [0.4, 0.4, 0.4], atol=1e-8)
+        assert np.allclose(
+            solve_amf_enhanced(cluster).aggregates, [1 / 3, 1 / 3, 1 / 3 + 0.2], atol=1e-8
+        )
+
+    def test_readme_quickstart_snippet(self):
+        import repro
+
+        cluster = repro.Cluster.from_matrices(
+            capacities=[10.0, 10.0],
+            workloads=[[8.0, 2.0], [2.0, 8.0], [5.0, 5.0]],
+        )
+        alloc = repro.solve_amf(cluster)
+        assert "policy=amf" in alloc.pretty()
+        rep = repro.properties.check_all(alloc)
+        assert rep.pareto and rep.max_min

@@ -1,0 +1,34 @@
+"""The public import surface stays stable (guards against refactor breakage)."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_core_types_present(self):
+        assert callable(repro.solve_amf)
+        assert callable(repro.solve_psmf)
+        assert callable(repro.solve_amf_enhanced)
+        assert callable(repro.simulate)
+        assert callable(repro.water_fill)
+
+    def test_end_to_end_through_public_surface_only(self):
+        import numpy as np
+
+        cluster = repro.generate_cluster(
+            repro.WorkloadSpec(n_jobs=6, n_sites=3, theta=1.0), np.random.default_rng(0)
+        )
+        alloc = repro.get_policy("amf")(cluster)
+        assert repro.properties.is_max_min_fair(alloc)
+        res = repro.simulate(cluster.sites, cluster.jobs, "psmf")
+        assert res.n_finished == 6
+
+    def test_policy_registry_exposed(self):
+        assert "amf" in repro.POLICIES
+        assert "psmf" in repro.POLICIES

@@ -1,0 +1,55 @@
+"""Tests for the Poisson arrival generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import ArrivalSpec, generate_arrival_jobs, replace_arrival
+from repro.workload.generator import WorkloadSpec
+from repro.model.job import Job
+
+
+class TestArrivalSpec:
+    def test_defaults(self):
+        ArrivalSpec()
+
+    def test_rejects_bad_load(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(load=0.0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(site_capacity=0.0)
+
+
+class TestGeneration:
+    def test_offered_load_matches(self):
+        spec = ArrivalSpec(workload=WorkloadSpec(n_jobs=100, n_sites=5), load=0.6, site_capacity=8.0)
+        sites, jobs = generate_arrival_jobs(spec, np.random.default_rng(0))
+        total_capacity = sum(s.capacity for s in sites)
+        total_work = sum(j.total_work for j in jobs)
+        horizon = max(j.arrival for j in jobs)
+        realized = total_work / (horizon * total_capacity)
+        assert realized == pytest.approx(0.6, rel=0.05)
+
+    def test_arrivals_sorted_and_positive(self):
+        spec = ArrivalSpec(workload=WorkloadSpec(n_jobs=50, n_sites=4))
+        _, jobs = generate_arrival_jobs(spec, np.random.default_rng(1))
+        times = [j.arrival for j in jobs]
+        assert times == sorted(times)
+        assert min(times) >= 0.0
+
+    def test_sites_match_spec(self):
+        spec = ArrivalSpec(workload=WorkloadSpec(n_jobs=10, n_sites=7), site_capacity=3.0)
+        sites, _ = generate_arrival_jobs(spec, np.random.default_rng(2))
+        assert len(sites) == 7
+        assert all(s.capacity == 3.0 for s in sites)
+
+
+class TestReplaceArrival:
+    def test_preserves_everything_else(self):
+        j = Job("x", {"A": 1.0}, demand={"A": 0.5}, weight=2.0, arrival=1.0)
+        j2 = replace_arrival(j, 9.0)
+        assert j2.arrival == 9.0
+        assert j2.workload == j.workload
+        assert j2.weight == 2.0
+        assert j2.demand_at("A") == 0.5

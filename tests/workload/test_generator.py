@@ -1,0 +1,111 @@
+"""Tests for the static batch workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.model.validation import validate_instance
+from repro.workload.generator import WorkloadSpec, generate_cluster, generate_jobs, sites_for
+
+
+class TestSpecValidation:
+    def test_defaults_are_valid(self):
+        WorkloadSpec()
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_jobs=0)
+
+    def test_rejects_bad_contention(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(contention=0.0)
+
+    def test_rejects_bad_demand_scale(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(demand_scale=-1.0)
+
+
+class TestGenerateJobs:
+    def test_job_count_and_names(self):
+        spec = WorkloadSpec(n_jobs=7, n_sites=4)
+        jobs = generate_jobs(spec, np.random.default_rng(0))
+        assert len(jobs) == 7
+        assert {j.name for j in jobs} == {f"j{i}" for i in range(7)}
+
+    def test_site_spread_respected(self):
+        spec = WorkloadSpec(n_jobs=20, n_sites=10, site_spread=3)
+        jobs = generate_jobs(spec, np.random.default_rng(0))
+        assert all(len(j.workload) <= 3 for j in jobs)
+
+    def test_spread_clipped_to_sites(self):
+        spec = WorkloadSpec(n_jobs=5, n_sites=2, site_spread=8)
+        jobs = generate_jobs(spec, np.random.default_rng(0))
+        assert all(len(j.workload) <= 2 for j in jobs)
+
+    def test_demand_caps_scale_with_work(self):
+        spec = WorkloadSpec(n_jobs=10, n_sites=4, demand_scale=0.1)
+        jobs = generate_jobs(spec, np.random.default_rng(0))
+        for j in jobs:
+            for s, w in j.workload.items():
+                assert j.demand_at(s) == pytest.approx(0.1 * w)
+
+    def test_uncapped_mode(self):
+        spec = WorkloadSpec(n_jobs=5, n_sites=3, demand_scale=None)
+        jobs = generate_jobs(spec, np.random.default_rng(0))
+        assert all(not j.demand for j in jobs)
+
+    def test_mean_work_roughly_matches(self):
+        spec = WorkloadSpec(n_jobs=400, n_sites=4, mean_work=50.0, work_cv=0.5)
+        jobs = generate_jobs(spec, np.random.default_rng(1))
+        mean = np.mean([j.total_work for j in jobs])
+        assert mean == pytest.approx(50.0, rel=0.15)
+
+    def test_skew_concentrates_on_popular_sites(self):
+        spec = WorkloadSpec(n_jobs=200, n_sites=10, theta=2.0, site_spread=2)
+        jobs = generate_jobs(spec, np.random.default_rng(2))
+        per_site = np.zeros(10)
+        for j in jobs:
+            for s, w in j.workload.items():
+                per_site[int(s[1:])] += w
+        assert per_site[0] > per_site[5:].sum()
+
+    def test_weights_spread(self):
+        spec = WorkloadSpec(n_jobs=50, n_sites=3, weight_spread=1.0)
+        jobs = generate_jobs(spec, np.random.default_rng(3))
+        weights = [j.weight for j in jobs]
+        assert min(weights) >= 1.0
+        assert max(weights) > 1.1
+
+    def test_deterministic_given_seed(self):
+        spec = WorkloadSpec(n_jobs=10, n_sites=4)
+        a = generate_jobs(spec, np.random.default_rng(7))
+        b = generate_jobs(spec, np.random.default_rng(7))
+        assert all(x.workload == y.workload for x, y in zip(a, b))
+
+
+class TestSitesAndCluster:
+    def test_contention_realized(self):
+        spec = WorkloadSpec(n_jobs=50, n_sites=5, contention=3.0)
+        rng = np.random.default_rng(0)
+        cluster = generate_cluster(spec, rng)
+        rep = validate_instance(cluster)
+        # per-edge caps are clipped by site capacity, so realized contention
+        # can only come out at or below the requested level
+        assert 1.5 < rep.contention_ratio <= 3.0 + 1e-9
+
+    def test_explicit_capacity(self):
+        spec = WorkloadSpec(n_jobs=5, n_sites=3)
+        jobs = generate_jobs(spec, np.random.default_rng(0))
+        sites = sites_for(spec, jobs, site_capacity=42.0)
+        assert all(s.capacity == 42.0 for s in sites)
+
+    def test_uncapped_capacity_heuristic(self):
+        spec = WorkloadSpec(n_jobs=5, n_sites=3, demand_scale=None)
+        jobs = generate_jobs(spec, np.random.default_rng(0))
+        sites = sites_for(spec, jobs)
+        total_work = sum(j.total_work for j in jobs)
+        assert sum(s.capacity for s in sites) == pytest.approx(total_work / 10.0)
+
+    def test_cluster_is_valid(self):
+        cluster = generate_cluster(WorkloadSpec(n_jobs=20, n_sites=6), np.random.default_rng(0))
+        assert cluster.n_jobs == 20
+        assert cluster.n_sites == 6

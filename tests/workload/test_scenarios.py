@@ -1,0 +1,42 @@
+"""Tests for the named workload scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.model.validation import validate_instance
+from repro.workload.generator import generate_cluster
+from repro.workload.scenarios import SCENARIOS, get_scenario
+
+
+class TestRegistry:
+    def test_expected_names(self):
+        assert {"uniform", "skewed", "hot-spot", "elastic", "capped", "weighted", "wide"} == set(SCENARIOS)
+
+    def test_get_scenario(self):
+        assert get_scenario("skewed").theta == 1.5
+
+    def test_unknown_raises_with_choices(self):
+        with pytest.raises(KeyError, match="choices"):
+            get_scenario("bogus")
+
+
+class TestScenarioShapes:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_generates(self, name):
+        cluster = generate_cluster(SCENARIOS[name], np.random.default_rng(0))
+        assert cluster.n_jobs == SCENARIOS[name].n_jobs
+
+    def test_hot_spot_skews_harder_than_uniform(self):
+        rng = np.random.default_rng(1)
+        hot = validate_instance(generate_cluster(SCENARIOS["hot-spot"], rng)).skew_gini
+        rng = np.random.default_rng(1)
+        flat = validate_instance(generate_cluster(SCENARIOS["uniform"], rng)).skew_gini
+        assert hot > flat + 0.2
+
+    def test_elastic_has_no_caps(self):
+        cluster = generate_cluster(SCENARIOS["elastic"], np.random.default_rng(2))
+        assert all(not j.demand for j in cluster.jobs)
+
+    def test_weighted_has_weight_spread(self):
+        cluster = generate_cluster(SCENARIOS["weighted"], np.random.default_rng(3))
+        assert cluster.weights.max() > cluster.weights.min() + 0.5

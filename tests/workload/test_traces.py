@@ -1,0 +1,66 @@
+"""Tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload.traces import TraceSpec, generate_trace_jobs
+
+
+class TestTraceSpec:
+    def test_defaults(self):
+        TraceSpec()
+
+    def test_rejects_light_tail(self):
+        with pytest.raises(ValueError):
+            TraceSpec(pareto_shape=1.0)
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            TraceSpec(diurnal_amplitude=1.0)
+
+    def test_rejects_bad_shares(self):
+        with pytest.raises(ValueError):
+            TraceSpec(class_shares=(0.5, 0.5, 0.5))
+
+
+class TestGeneration:
+    def test_counts_and_horizon(self):
+        spec = TraceSpec(n_jobs=100, n_sites=6, horizon=50.0)
+        sites, jobs = generate_trace_jobs(spec, np.random.default_rng(0))
+        assert len(sites) == 6 and len(jobs) == 100
+        assert all(0.0 <= j.arrival <= 50.0 for j in jobs)
+
+    def test_heavy_tail_present(self):
+        spec = TraceSpec(n_jobs=500, pareto_shape=1.5, mean_work=10.0)
+        _, jobs = generate_trace_jobs(spec, np.random.default_rng(1))
+        sizes = np.array([j.total_work for j in jobs])
+        assert sizes.max() > 5.0 * np.median(sizes)
+
+    def test_locality_classes(self):
+        spec = TraceSpec(n_jobs=300, n_sites=8, class_shares=(1.0, 0.0, 0.0))
+        _, jobs = generate_trace_jobs(spec, np.random.default_rng(2))
+        assert all(len(j.workload) == 1 for j in jobs)
+
+        spec = TraceSpec(n_jobs=50, n_sites=8, class_shares=(0.0, 0.0, 1.0))
+        _, jobs = generate_trace_jobs(spec, np.random.default_rng(2))
+        assert all(len(j.workload) == 8 for j in jobs)
+
+    def test_demand_caps_attached(self):
+        spec = TraceSpec(n_jobs=20, demand_scale=0.2)
+        _, jobs = generate_trace_jobs(spec, np.random.default_rng(3))
+        for j in jobs:
+            for s, w in j.workload.items():
+                assert j.demand_at(s) == pytest.approx(0.2 * w)
+
+    def test_arrivals_sorted(self):
+        spec = TraceSpec(n_jobs=50)
+        _, jobs = generate_trace_jobs(spec, np.random.default_rng(4))
+        times = [j.arrival for j in jobs]
+        assert times == sorted(times)
+
+    def test_diurnal_modulation_shifts_mass(self):
+        """With a strong sinusoid, the first half-period gets more arrivals."""
+        spec = TraceSpec(n_jobs=2000, diurnal_amplitude=0.9, horizon=10.0)
+        _, jobs = generate_trace_jobs(spec, np.random.default_rng(5))
+        first_half = sum(1 for j in jobs if j.arrival < 5.0)
+        assert first_half > 1150  # sin is positive on the first half-period
