@@ -1,0 +1,29 @@
+"""X8 (extension) — fault tolerance under Poisson site churn.
+
+Fairness (time-averaged Jain), completion and the work ledger per policy
+when sites fail and recover mid-run, every policy behind the
+ResilientPolicy fallback chain (docs/robustness.md).  Claim: AMF stays
+closer to the static fairness bound than per-site max-min under churn.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import run_x8_fault_tolerance
+
+
+def test_x8_fault_tolerance(run_once):
+    out = run_once(
+        run_x8_fault_tolerance,
+        scale=0.3,
+        seeds=(0,),
+        mtbf_factors=(4.0, 1.0),
+        policies=("psmf", "amf"),
+    )
+    sw = out.data["sweep"]
+    for name in ("psmf", "amf"):
+        for jct in sw.series([f"{name}/mean_jct"])[f"{name}/mean_jct"]:
+            assert np.isfinite(jct) and jct > 0.0, name
+        for jain in sw.series([f"{name}/time_avg_jain"])[f"{name}/time_avg_jain"]:
+            assert 0.0 <= jain <= 1.0 + 1e-9, name
+        for lost in sw.series([f"{name}/work_lost"])[f"{name}/work_lost"]:
+            assert lost >= 0.0, name

@@ -893,6 +893,83 @@ def run_x7_multiresource(
 
 
 # ----------------------------------------------------------------------
+# X8 — extension: fault tolerance under site churn
+# ----------------------------------------------------------------------
+
+
+def run_x8_fault_tolerance(
+    scale: float = 1.0,
+    seeds: Sequence[int] = DEFAULT_SEEDS[:2],
+    mtbf_factors: Sequence[float] = (8.0, 4.0, 2.0, 1.0),
+    policies: Sequence[str] = ("psmf", "amf"),
+    theta: float = 1.2,
+    failure_mode: str = "migrate",
+) -> ExperimentOutput:
+    """X8 (extension): fairness and completion under site failures.
+
+    Each site fails with Poisson MTBF/MTTR churn; the x axis sweeps the
+    MTBF as a multiple of ``T0`` (the batch's ideal drain time: total work
+    over total capacity), so smaller factor = harsher churn.  Every policy
+    runs behind the :class:`~repro.core.policies.ResilientPolicy` fallback
+    chain, with the same failure trace per (seed, factor) point.
+
+    Claim under test (docs/robustness.md): AMF stays closer to the static
+    fairness bound than per-site max-min under churn — its cross-site
+    compensation re-balances around a lost site, while PSMF strands the
+    jobs that were pinned to it.
+    """
+    from repro.core.policies import ResilientPolicy
+    from repro.sim.observers import AvailabilityObserver, BalanceObserver, CompositeObserver
+    from repro.workload.failures import FailureSpec, generate_failure_trace
+
+    n_jobs = _scaled(30, scale)
+    n_sites = _scaled(8, scale, minimum=3)
+
+    def point(factor, rng):
+        spec = WorkloadSpec(n_jobs=n_jobs, n_sites=n_sites, theta=theta)
+        jobs = generate_jobs(spec, rng)
+        sites = sites_for(spec, jobs)
+        total_work = sum(j.total_work for j in jobs)
+        total_cap = sum(s.capacity for s in sites)
+        t0 = total_work / total_cap
+        fspec = FailureSpec(mtbf=float(factor) * t0, mttr=0.25 * float(factor) * t0, horizon=4.0 * t0)
+        faults = generate_failure_trace([s.name for s in sites], fspec, rng)
+        out: dict[str, float] = {}
+        for name in policies:
+            resilient = ResilientPolicy(name)
+            avail = AvailabilityObserver(policy=resilient)
+            balance = BalanceObserver()
+            result = simulate(
+                sites,
+                jobs,
+                resilient,
+                faults=faults,
+                failure_mode=failure_mode,
+                observer=CompositeObserver([balance, avail]),
+            )
+            out[f"{name}/mean_jct"] = result.mean_jct
+            out[f"{name}/time_avg_jain"] = balance.time_avg_jain
+            out[f"{name}/work_lost"] = result.work_lost
+            out[f"{name}/work_reexecuted"] = result.work_reexecuted
+            out[f"{name}/fallbacks"] = float(resilient.stats.fallback_activations)
+            out[f"{name}/availability"] = avail.availability
+        return out
+
+    sw = sweep1d("mtbf_factor", list(mtbf_factors), point, seeds=seeds)
+    keys = [f"{p}/time_avg_jain" for p in policies] + [f"{p}/mean_jct" for p in policies] + [
+        f"{p}/work_reexecuted" for p in policies
+    ]
+    text = render_series(
+        "mtbf_factor",
+        sw.x_values,
+        sw.series(keys),
+        title=f"X8: fault tolerance under site churn ({failure_mode} mode; MTBF in units of T0)",
+        sparklines=True,
+    )
+    return ExperimentOutput("X8", text, {"sweep": sw})
+
+
+# ----------------------------------------------------------------------
 # Registry (used by the CLI)
 # ----------------------------------------------------------------------
 
@@ -916,4 +993,5 @@ EXPERIMENTS: Mapping[str, object] = {
     "X5": run_x5_allocation_churn,
     "X6": run_x6_discrete_convergence,
     "X7": run_x7_multiresource,
+    "X8": run_x8_fault_tolerance,
 }

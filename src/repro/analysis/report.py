@@ -10,6 +10,7 @@ configuration so reports are comparable across machines.
 from __future__ import annotations
 
 import time
+import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
@@ -22,7 +23,7 @@ class ReportSection:
     experiment: str
     seconds: float
     output: ExperimentOutput | None
-    error: str | None = None
+    error: str | None = None  # full traceback text of the failure, not just repr(exc)
 
 
 @dataclass(slots=True)
@@ -48,7 +49,11 @@ class Report:
             lines.append(f"## {sec.experiment}  ({sec.seconds:.1f}s)")
             lines.append("")
             if sec.error is not None:
-                lines.append(f"**FAILED:** `{sec.error}`")
+                lines.append("**FAILED:**")
+                lines.append("")
+                lines.append("```")
+                lines.append(sec.error.rstrip())
+                lines.append("```")
             else:
                 lines.append("```")
                 lines.append(sec.output.text)
@@ -82,7 +87,9 @@ def generate_report(
         except Exception as exc:  # noqa: BLE001 - reported, not swallowed
             if not keep_going:
                 raise
-            report.sections.append(ReportSection(eid, time.perf_counter() - t0, None, error=repr(exc)))
+            report.sections.append(
+                ReportSection(eid, time.perf_counter() - t0, None, error="".join(traceback.format_exception(exc)))
+            )
     report.total_seconds = time.perf_counter() - t_start
     return report
 

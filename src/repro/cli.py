@@ -102,18 +102,63 @@ def cmd_simulate(args) -> int:
     trace = None
     observer = None
     observers = []
+    policy = args.policy
+    if args.resilient or args.failures:
+        from repro.core.policies import ResilientPolicy
+
+        policy = ResilientPolicy(args.policy)
+    faults = None
+    if args.failures:
+        from repro.workload.failures import FailureSpec, generate_failure_trace
+
+        # Failure horizon ~ the batch's drain time (total work over capacity,
+        # with headroom for churn-induced slowdown).
+        t0 = sum(j.total_work for j in jobs) / sum(s.capacity for s in sites)
+        fspec = FailureSpec(mtbf=args.mtbf, mttr=args.mttr, horizon=4.0 * t0, degraded_fraction=args.degraded)
+        faults = generate_failure_trace([s.name for s in sites], fspec, rng)
     if args.trace:
         from repro.sim.trace import Trace
 
         trace = Trace(max_events=10_000)
-    if args.observe:
-        from repro.sim.observers import BalanceObserver, ChurnObserver, CompositeObserver, UtilizationObserver
+    if args.observe or args.failures:
+        from repro.sim.observers import (
+            AvailabilityObserver,
+            BalanceObserver,
+            ChurnObserver,
+            CompositeObserver,
+            UtilizationObserver,
+        )
 
-        named = {"balance": BalanceObserver(), "churn": ChurnObserver(), "utilization": UtilizationObserver()}
-        observers = [(n, named[n]) for n in args.observe]
+        wanted = list(args.observe)
+        if args.failures and "availability" not in wanted:
+            wanted.append("availability")
+        named = {
+            "balance": BalanceObserver(),
+            "churn": ChurnObserver(),
+            "utilization": UtilizationObserver(),
+            "availability": AvailabilityObserver(policy=policy if not isinstance(policy, str) else None),
+        }
+        observers = [(n, named[n]) for n in wanted]
         observer = CompositeObserver([o for _, o in observers])
-    res = simulate(sites, jobs, args.policy, trace=trace, observer=observer)
+    res = simulate(
+        sites,
+        jobs,
+        policy,
+        trace=trace,
+        observer=observer,
+        faults=faults,
+        failure_mode=args.failure_mode,
+        max_retries=args.max_retries,
+        restart_penalty=args.restart_penalty,
+    )
     print(res)
+    if args.failures:
+        print(
+            f"faults: {res.n_failures} failures, {res.n_recoveries} recoveries, "
+            f"{res.n_requeues} requeues, {res.n_migrations} migrations; "
+            f"work lost {res.work_lost:.3f}, re-executed {res.work_reexecuted:.3f}, "
+            f"degraded jobs {res.n_degraded}"
+        )
     if trace is not None:
         print("\nevent trace:")
         print(trace.render(limit=args.trace))
@@ -125,6 +170,11 @@ def cmd_simulate(args) -> int:
         elif name == "utilization":
             avgs = ", ".join(f"{k}={v:.3f}" for k, v in obs.averages().items())
             print(f"\ntime-averaged site utilization: {avgs}")
+        elif name == "availability":
+            print(
+                f"\navailability: {obs.availability:.4f} "
+                f"(fallback activations: {obs.fallback_activations})"
+            )
     return 0
 
 
@@ -172,9 +222,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--observe",
         nargs="+",
-        choices=["balance", "churn", "utilization"],
+        choices=["balance", "churn", "utilization", "availability"],
         default=[],
         help="attach observers and print their summaries",
+    )
+    p_fail = p_sim.add_argument_group("fault tolerance (docs/robustness.md)")
+    p_fail.add_argument("--failures", action="store_true", help="inject Poisson site failures/recoveries")
+    p_fail.add_argument("--mtbf", type=float, default=50.0, help="mean time between failures per site")
+    p_fail.add_argument("--mttr", type=float, default=10.0, help="mean time to repair per site")
+    p_fail.add_argument(
+        "--failure-mode",
+        choices=["retry", "migrate"],
+        default="retry",
+        help="what happens to in-flight work at a failed site",
+    )
+    p_fail.add_argument("--max-retries", type=int, default=3, help="retries per job-site edge before abandoning work")
+    p_fail.add_argument(
+        "--restart-penalty", type=float, default=1.0, help="fraction of in-progress attempt lost on failure (0..1)"
+    )
+    p_fail.add_argument(
+        "--degraded", type=float, default=0.0, help="capacity fraction a failed site keeps (0 = full outage)"
+    )
+    p_fail.add_argument(
+        "--resilient", action="store_true", help="wrap the policy in the solver fallback chain (implied by --failures)"
     )
     p_sim.set_defaults(fn=cmd_simulate)
 

@@ -5,18 +5,30 @@ site-pinned work at the rates the active policy allocates, and depart when
 all their work is done.  This package implements that model exactly (no
 time-stepping): between events workloads deplete linearly, so the next
 event time is closed-form, and the policy re-solves at every event
-(arrival, per-site work exhaustion, job completion).
+(arrival, per-site work exhaustion, job completion, site failure or
+recovery).
 
-* :class:`~repro.sim.engine.FluidSimulator` — the engine.
+* :class:`~repro.sim.engine.FluidSimulator` — the engine (with the
+  fault-tolerance subsystem: ``faults`` / ``failure_mode`` arguments).
 * :class:`~repro.sim.metrics.SimulationResult` — per-job records + summary
-  statistics (mean/median/p95 JCT, slowdown, utilization).
-* :mod:`~repro.sim.trace` — event trace recording and rendering.
+  statistics (mean/median/p95 JCT, slowdown, utilization, work ledger).
+* :mod:`~repro.sim.trace` — event trace recording and the
+  :class:`~repro.sim.trace.FaultEvent` inputs (failures, recoveries,
+  capacity changes).
 """
 
 from repro.sim.engine import FluidSimulator, simulate
 from repro.sim.metrics import JobRecord, SimulationResult
-from repro.sim.trace import SimEvent, Trace
+from repro.sim.trace import (
+    CapacityChange,
+    FaultEvent,
+    SimEvent,
+    SiteFailure,
+    SiteRecovery,
+    Trace,
+)
 from repro.sim.observers import (
+    AvailabilityObserver,
     BalanceObserver,
     ChurnObserver,
     CompositeObserver,
@@ -31,9 +43,14 @@ __all__ = [
     "SimulationResult",
     "SimEvent",
     "Trace",
+    "FaultEvent",
+    "SiteFailure",
+    "SiteRecovery",
+    "CapacityChange",
     "Observer",
     "BalanceObserver",
     "UtilizationObserver",
     "ChurnObserver",
     "CompositeObserver",
+    "AvailabilityObserver",
 ]

@@ -2,21 +2,48 @@
 
 Between events, every job's remaining work at every site depletes linearly
 at the allocated rate, so the engine never time-steps: it computes the next
-event (an arrival, or some job exhausting its work at some site) in closed
-form, re-solves the allocation policy there, and repeats.  This is the
-standard fluid evaluation model for fair-sharing policies and is exact up
-to float rounding.
+event (an arrival, some job exhausting its work at some site, or a
+scheduled fault) in closed form, re-solves the allocation policy there, and
+repeats.  This is the standard fluid evaluation model for fair-sharing
+policies and is exact up to float rounding.
 
 Dynamics are what make AMF's completion-time story work: a static AMF
 allocation can starve a particular job-site *edge* (the aggregate is fair,
 the split is not), but as other jobs drain, the policy re-solves and the
 starved edge gets capacity.  The simulator therefore reports the JCTs the
 paper actually evaluates.
+
+Fault tolerance (``faults`` argument)
+-------------------------------------
+The simulator also consumes a schedule of
+:class:`~repro.sim.trace.FaultEvent` objects — site failures, recoveries
+and capacity changes, typically produced by
+:func:`repro.workload.failures.generate_failure_trace`.  On a *full*
+failure the affected job-site edges are handled per ``failure_mode``:
+
+``retry``
+    Remaining work is parked at the failed site until it recovers; the
+    progress of the interrupted attempt is invalidated (scaled by
+    ``restart_penalty``) and must be re-executed.  Each edge is parked at
+    most ``max_retries`` times; after that its work is abandoned
+    (``work_lost``) and the job finishes *degraded*.
+
+``migrate``
+    Remaining work moves to the job's surviving support sites,
+    proportionally to its original workload distribution there (completed
+    work stays completed).  When no surviving site exists the edge falls
+    back to ``retry`` semantics.
+
+A brownout (``degraded_fraction > 0``) only scales the site's capacity; no
+work is displaced.  The work ledger on the result
+(:class:`~repro.sim.metrics.SimulationResult`) conserves
+``work_completed + work_lost + work_remaining == total_work`` across any
+trace.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -27,7 +54,10 @@ from repro.model.cluster import Cluster
 from repro.model.job import Job
 from repro.model.site import Site
 from repro.sim.metrics import JobRecord, SimulationResult
-from repro.sim.trace import SimEvent, Trace
+from repro.sim.trace import CapacityChange, FaultEvent, SimEvent, SiteFailure, SiteRecovery, Trace
+
+#: Time tolerance for coalescing events that happen "at the same instant".
+_TIME_EPS = 1e-15
 
 
 @dataclass(slots=True)
@@ -35,8 +65,11 @@ class _ActiveJob:
     """Mutable per-job simulation state."""
 
     job: Job
-    remaining: dict[str, float]  # site -> remaining work (> 0 entries only)
+    remaining: dict[str, float]  # site -> remaining work (> 0 entries only, sites currently up)
     record: JobRecord
+    parked: dict[str, float] = field(default_factory=dict)  # site -> work awaiting recovery
+    retries: dict[str, int] = field(default_factory=dict)  # site -> failures endured there
+    attempt_progress: dict[str, float] = field(default_factory=dict)  # site -> work since (re)start
 
     def snapshot_job(self) -> Job:
         demand = {s: v for s, v in self.job.demand.items() if s in self.remaining}
@@ -55,7 +88,7 @@ class FluidSimulator:
     Parameters
     ----------
     sites:
-        The sites (fixed for the whole run).
+        The sites (nominal capacities; faults modulate them during the run).
     jobs:
         Jobs with their ``arrival`` times (0 for a static batch).
     policy:
@@ -67,12 +100,25 @@ class FluidSimulator:
     observer:
         Optional :class:`~repro.sim.observers.Observer` (or any object with
         the same ``observe(t, dt, snapshot, alloc)`` method), called once
-        per simulated interval with the allocation in force.
+        per simulated interval with the allocation in force.  Observers may
+        additionally implement ``observe_capacity`` / ``record_fault`` /
+        ``record_work`` (see :class:`~repro.sim.observers.Observer`).
+    faults:
+        Optional schedule of :class:`~repro.sim.trace.FaultEvent` objects
+        (any order; sorted internally).  Every referenced site must exist.
+    failure_mode:
+        ``"retry"`` (default) or ``"migrate"`` — what happens to the
+        remaining work of edges at a fully failed site (see module docs).
+    max_retries:
+        Per job-site edge: failures endured before its work is abandoned.
+    restart_penalty:
+        Fraction of the interrupted attempt's progress that is invalidated
+        on failure (1 = full restart, 0 = perfect checkpointing).
     work_eps:
         Relative threshold below which remaining work counts as done.
     max_events:
         Safety bound; the run raises if exceeded (default scales with the
-        total number of job-site pairs).
+        total number of job-site pairs and fault events).
     """
 
     def __init__(
@@ -83,6 +129,10 @@ class FluidSimulator:
         *,
         trace: Trace | None = None,
         observer=None,
+        faults: Sequence[FaultEvent] | None = None,
+        failure_mode: str = "retry",
+        max_retries: int = 3,
+        restart_penalty: float = 1.0,
         work_eps: float = 1e-9,
         max_events: int | None = None,
     ):
@@ -97,9 +147,24 @@ class FluidSimulator:
             self.policy = policy
         self.trace = trace
         self.observer = observer
+        self.faults = tuple(sorted(faults or (), key=lambda e: e.time))
+        known_sites = {s.name for s in self.sites}
+        for ev in self.faults:
+            require(ev.site in known_sites, f"fault event references unknown site {ev.site!r}")
+        require(failure_mode in ("retry", "migrate"), f"failure_mode must be 'retry' or 'migrate', got {failure_mode!r}")
+        self.failure_mode = failure_mode
+        require(max_retries >= 0, "max_retries must be non-negative")
+        self.max_retries = max_retries
+        require(0.0 <= restart_penalty <= 1.0, f"restart_penalty must be in [0, 1], got {restart_penalty}")
+        self.restart_penalty = restart_penalty
         self.work_eps = work_eps
         edge_count = sum(len(j.workload) for j in self.jobs)
-        self.max_events = max_events if max_events is not None else 20 * (edge_count + len(self.jobs)) + 1000
+        if max_events is not None:
+            self.max_events = max_events
+        else:
+            # Each fault can displace (and later re-run) up to every job's
+            # edge at that site, so the budget grows with the schedule.
+            self.max_events = 20 * (edge_count + len(self.jobs)) + 1000 + 40 * len(self.faults) * max(1, len(self.jobs))
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
@@ -107,23 +172,129 @@ class FluidSimulator:
         result = SimulationResult(
             policy=self.policy_name,
             total_capacity=float(sum(s.capacity for s in self.sites)),
+            total_work=float(sum(j.total_work for j in self.jobs)),
         )
-        site_caps = {s.name: s.capacity for s in self.sites}
+        nominal = {s.name: s.capacity for s in self.sites}  # mutated by CapacityChange
+        fraction = {s.name: 1.0 for s in self.sites}  # 1 up, (0,1) brownout, 0 failed
         pending = list(self.jobs)
         next_arrival_idx = 0
+        fault_idx = 0
         active: dict[str, _ActiveJob] = {}
         t = 0.0
+        # Current site tuple for snapshots; rebuilt only when a fault fires.
+        current_sites: tuple[Site, ...] = self.sites
+
+        def rebuild_sites() -> None:
+            nonlocal current_sites
+            current_sites = tuple(
+                Site(s.name, fraction[s.name] * nominal[s.name], s.tags)
+                for s in self.sites
+                if fraction[s.name] > 0.0
+            )
+
+        def up(site: str) -> bool:
+            return fraction[site] > 0.0
 
         def isolated_time(job: Job) -> float:
             worst = 0.0
             for s, w in job.workload.items():
-                rate = min(job.demand_at(s), site_caps[s])
+                rate = min(job.demand_at(s), nominal[s])
                 worst = max(worst, np.inf if rate <= 0.0 else w / rate)
             return worst
 
+        def notify(hook: str, *args) -> None:
+            fn = getattr(self.observer, hook, None)
+            if fn is not None:
+                fn(*args)
+
+        def displace(aj: _ActiveJob, site: str, now: float, *, count_retry: bool = True) -> None:
+            """Handle ``aj``'s active edge at fully failed ``site``."""
+            amount = aj.remaining.pop(site)
+            progress = aj.attempt_progress.pop(site, 0.0)
+            if self.failure_mode == "migrate":
+                targets = [x for x in aj.remaining if up(x)]
+                if targets:
+                    # Redistribute per the job's original workload distribution.
+                    weights = np.array([aj.job.workload.get(x, 0.0) for x in targets])
+                    if weights.sum() <= 0.0:
+                        weights = np.ones(len(targets))
+                    for x, frac in zip(targets, weights / weights.sum()):
+                        aj.remaining[x] += amount * float(frac)
+                    result.n_migrations += 1
+                    self._emit(SimEvent(now, "migrate", aj.job.name, site))
+                    result.n_events += 1
+                    notify("record_work", now, "migrated", aj.job.name, site, amount)
+                    return
+            # Retry semantics (also the migrate fallback when no site survives):
+            # the interrupted attempt's progress is (partially) invalidated.
+            invalid = self.restart_penalty * progress
+            if invalid > 0.0:
+                result.work_reexecuted += invalid
+                result.work_completed -= invalid
+                amount += invalid
+            retries = aj.retries.get(site, 0) + (1 if count_retry else 0)
+            aj.retries[site] = retries
+            if retries > self.max_retries:
+                result.work_lost += amount
+                aj.record.work_lost += amount
+                self._emit(SimEvent(now, "work-lost", aj.job.name, site))
+                result.n_events += 1
+                notify("record_work", now, "lost", aj.job.name, site, amount)
+            else:
+                aj.parked[site] = aj.parked.get(site, 0.0) + amount
+                result.n_requeues += 1
+                self._emit(SimEvent(now, "requeue", aj.job.name, site))
+                result.n_events += 1
+                notify("record_work", now, "requeued", aj.job.name, site, amount)
+
+        def finish(name: str, now: float) -> None:
+            aj = active.pop(name)
+            aj.record.completion = now
+            self._emit(SimEvent(now, "completion", name))
+            result.n_events += 1
+
+        def apply_faults(now: float) -> None:
+            nonlocal fault_idx
+            touched = False
+            while fault_idx < len(self.faults) and self.faults[fault_idx].time <= now + _TIME_EPS:
+                ev = self.faults[fault_idx]
+                fault_idx += 1
+                touched = True
+                if isinstance(ev, SiteRecovery):
+                    fraction[ev.site] = 1.0
+                    result.n_recoveries += 1
+                    self._emit(SimEvent(now, "site-recovery", "", ev.site))
+                    result.n_events += 1
+                    for aj in active.values():
+                        parked = aj.parked.pop(ev.site, 0.0)
+                        if parked > 0.0:
+                            aj.remaining[ev.site] = aj.remaining.get(ev.site, 0.0) + parked
+                elif isinstance(ev, CapacityChange):
+                    nominal[ev.site] = ev.capacity
+                    result.n_capacity_changes += 1
+                    self._emit(SimEvent(now, "capacity-change", "", ev.site))
+                    result.n_events += 1
+                elif isinstance(ev, SiteFailure):
+                    fraction[ev.site] = ev.degraded_fraction
+                    result.n_failures += 1
+                    self._emit(SimEvent(now, "site-failure", "", ev.site))
+                    result.n_events += 1
+                    if ev.degraded_fraction <= 0.0:
+                        for name in list(active):
+                            aj = active[name]
+                            if ev.site in aj.remaining:
+                                displace(aj, ev.site, now)
+                                if not aj.remaining and not aj.parked:
+                                    finish(name, now)  # everything abandoned: degraded completion
+                else:  # pragma: no cover - future-proofing
+                    raise TypeError(f"unknown fault event {ev!r}")
+                notify("record_fault", now, ev)
+            if touched:
+                rebuild_sites()
+
         def admit_until(now: float) -> None:
             nonlocal next_arrival_idx
-            while next_arrival_idx < len(pending) and pending[next_arrival_idx].arrival <= now + 1e-15:
+            while next_arrival_idx < len(pending) and pending[next_arrival_idx].arrival <= now + _TIME_EPS:
                 job = pending[next_arrival_idx]
                 next_arrival_idx += 1
                 rec = JobRecord(
@@ -134,28 +305,44 @@ class FluidSimulator:
                     isolated_time=isolated_time(job),
                 )
                 result.records.append(rec)
-                active[job.name] = _ActiveJob(job, dict(job.workload), rec)
+                aj = _ActiveJob(job, dict(job.workload), rec)
+                active[job.name] = aj
                 self._emit(SimEvent(now, "arrival", job.name))
                 result.n_events += 1
+                # Work pinned at a currently-failed site is displaced on
+                # arrival (no progress yet, so no retry is charged).
+                for s in [s for s in aj.remaining if not up(s)]:
+                    displace(aj, s, now, count_retry=False)
 
+        apply_faults(t)
         admit_until(t)
         while active or next_arrival_idx < len(pending):
             require(result.n_events <= self.max_events, f"event budget exceeded ({self.max_events})")
             if not active:
+                # Fast-forward to whichever comes first: the next arrival or
+                # the next fault (faults still mutate capacities meanwhile).
                 t = pending[next_arrival_idx].arrival
+                if fault_idx < len(self.faults):
+                    t = min(t, self.faults[fault_idx].time)
+                apply_faults(t)
                 admit_until(t)
                 continue
 
-            snapshot, names = self._snapshot(active)
-            alloc = self.policy(snapshot)
-            result.n_policy_solves += 1
-            rates = {name: alloc.matrix[k] for k, name in enumerate(names)}
-            site_index = {s.name: j for j, s in enumerate(snapshot.sites)}
+            snapshot, names = self._snapshot(active, current_sites)
+            if snapshot is not None:
+                alloc = self.policy(snapshot)
+                result.n_policy_solves += 1
+                rates = {name: alloc.matrix[k] for k, name in enumerate(names)}
+                site_index = {s.name: j for j, s in enumerate(snapshot.sites)}
+            else:
+                alloc = None
+                rates = {}
+                site_index = {}
 
             # Next internal event: the earliest edge depletion.
             dt_work = np.inf
-            for name, aj in active.items():
-                row = rates[name]
+            for name, row in rates.items():
+                aj = active[name]
                 for s, rem in aj.remaining.items():
                     rate = row[site_index[s]]
                     if rate > 0.0:
@@ -163,55 +350,81 @@ class FluidSimulator:
             dt_arrival = (
                 pending[next_arrival_idx].arrival - t if next_arrival_idx < len(pending) else np.inf
             )
-            dt = min(dt_work, dt_arrival)
+            dt_fault = self.faults[fault_idx].time - t if fault_idx < len(self.faults) else np.inf
+            dt = min(dt_work, dt_arrival, dt_fault)
             if not np.isfinite(dt):
-                # Nothing progresses and nothing will arrive: stall.
+                # Nothing progresses, nothing will arrive, no fault pending
+                # (e.g. all remaining work parked at sites that never
+                # recover): stall.
                 result.stalled = True
                 for name in active:
                     self._emit(SimEvent(t, "stall", name))
                 result.n_events += len(active)
                 break
+            dt = max(dt, 0.0)
 
             # Advance the fluid state.
             if self.observer is not None:
-                self.observer.observe(t, dt, snapshot, alloc)
+                if snapshot is not None:
+                    self.observer.observe(t, dt, snapshot, alloc)
+                notify(
+                    "observe_capacity",
+                    t,
+                    dt,
+                    float(sum(fraction[s.name] * nominal[s.name] for s in self.sites)),
+                    float(sum(nominal[s.name] for s in self.sites)),
+                )
             total_rate = float(sum(r.sum() for r in rates.values()))
             result.utilization_integral += total_rate * dt
             t += dt
             finished_jobs: list[str] = []
-            for name, aj in active.items():
-                row = rates[name]
+            for name, row in rates.items():
+                aj = active[name]
                 done_sites: list[str] = []
                 for s in list(aj.remaining):
                     rate = row[site_index[s]]
                     if rate <= 0.0:
                         continue
-                    rem = aj.remaining[s] - rate * dt
-                    if rem <= self.work_eps * max(1.0, aj.record.total_work):
+                    rem = aj.remaining[s]
+                    step = rate * dt
+                    if rem - step <= self.work_eps * max(1.0, aj.record.total_work):
                         done_sites.append(s)
+                        result.work_completed += rem
+                        aj.attempt_progress.pop(s, None)
                     else:
-                        aj.remaining[s] = rem
+                        aj.remaining[s] = rem - step
+                        result.work_completed += step
+                        aj.attempt_progress[s] = aj.attempt_progress.get(s, 0.0) + step
                 for s in done_sites:
                     del aj.remaining[s]
                     self._emit(SimEvent(t, "site-done", name, s))
                     result.n_events += 1
-                if not aj.remaining:
+                if not aj.remaining and not aj.parked:
                     finished_jobs.append(name)
             for name in finished_jobs:
-                aj = active.pop(name)
-                aj.record.completion = t
-                self._emit(SimEvent(t, "completion", name))
-                result.n_events += 1
+                finish(name, t)
+            apply_faults(t)
             admit_until(t)
 
         result.horizon = t
+        result.work_remaining = float(
+            sum(sum(aj.remaining.values()) + sum(aj.parked.values()) for aj in active.values())
+        )
         return result
 
     # ------------------------------------------------------------------
-    def _snapshot(self, active: dict[str, _ActiveJob]) -> tuple[Cluster, list[str]]:
-        """Cluster snapshot of the remaining work (order = stable job order)."""
-        names = sorted(active)
-        return Cluster(self.sites, [active[n].snapshot_job() for n in names]), names
+    def _snapshot(
+        self, active: dict[str, _ActiveJob], sites: tuple[Site, ...]
+    ) -> tuple[Cluster | None, list[str]]:
+        """Cluster snapshot of the remaining work (order = stable job order).
+
+        Jobs whose work is entirely parked at failed sites are excluded;
+        ``None`` when nothing is solvable (no up site or no runnable job).
+        """
+        names = sorted(n for n, aj in active.items() if aj.remaining)
+        if not names or not sites:
+            return None, []
+        return Cluster(sites, [active[n].snapshot_job() for n in names]), names
 
     def _emit(self, event: SimEvent) -> None:
         if self.trace is not None:

@@ -16,6 +16,7 @@ class JobRecord:
     completion: float  # inf when the job never finished (stall)
     total_work: float
     isolated_time: float  # completion time if it had every site to itself
+    work_lost: float = 0.0  # work abandoned after exhausting failure retries
 
     @property
     def jct(self) -> float:
@@ -33,6 +34,11 @@ class JobRecord:
     def finished(self) -> bool:
         return np.isfinite(self.completion)
 
+    @property
+    def degraded(self) -> bool:
+        """True when the job finished only by abandoning part of its work."""
+        return self.work_lost > 0.0
+
 
 @dataclass(slots=True)
 class SimulationResult:
@@ -40,6 +46,16 @@ class SimulationResult:
 
     ``utilization_integral`` is the time integral of total allocated rate;
     dividing by (capacity * horizon) gives average utilization.
+
+    The ``work_*`` fields implement the fault-tolerance work ledger: every
+    unit of original work ends up exactly once in ``work_completed``
+    (credited execution), ``work_lost`` (abandoned after exhausting
+    retries) or ``work_remaining`` (unfinished at a stall), so
+    ``work_completed + work_lost + work_remaining == total_work`` for every
+    failure/recovery trace.  ``work_reexecuted`` counts execution that a
+    failure invalidated (it is wasted machine time, not original work, so
+    it lives outside the conservation identity:
+    ``utilization_integral == work_completed + work_reexecuted``).
     """
 
     policy: str
@@ -50,6 +66,16 @@ class SimulationResult:
     n_events: int = 0
     n_policy_solves: int = 0
     stalled: bool = False
+    total_work: float = 0.0
+    work_completed: float = 0.0
+    work_lost: float = 0.0
+    work_reexecuted: float = 0.0
+    work_remaining: float = 0.0
+    n_failures: int = 0
+    n_recoveries: int = 0
+    n_capacity_changes: int = 0
+    n_requeues: int = 0
+    n_migrations: int = 0
 
     # ------------------------------------------------------------------
     def jcts(self, finished_only: bool = True) -> np.ndarray:
@@ -94,6 +120,11 @@ class SimulationResult:
             return 0.0
         return self.utilization_integral / (self.total_capacity * self.horizon)
 
+    @property
+    def n_degraded(self) -> int:
+        """Jobs that finished only by abandoning part of their work."""
+        return sum(1 for r in self.records if r.degraded)
+
     def summary(self) -> dict[str, float]:
         """Flat dict of headline statistics (what the benchmarks print)."""
         return {
@@ -106,6 +137,8 @@ class SimulationResult:
             "mean_slowdown": self.mean_slowdown,
             "avg_utilization": self.avg_utilization,
             "events": float(self.n_events),
+            "work_lost": self.work_lost,
+            "work_reexecuted": self.work_reexecuted,
         }
 
     def __str__(self) -> str:

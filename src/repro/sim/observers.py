@@ -9,9 +9,15 @@ and integrates metrics over time:
   comparable levels of each interval's allocation (extension experiment
   X1, DESIGN.md §6).
 * :class:`UtilizationObserver` — per-site utilization timelines.
+* :class:`AvailabilityObserver` — effective-capacity availability, work
+  lost / re-executed, and solver-fallback activations under site churn
+  (extension experiment X8, docs/robustness.md).
 
 Observers plug into :class:`~repro.sim.engine.FluidSimulator` via the
-``observer`` argument; any callable with the same signature works.
+``observer`` argument; any callable with the same ``observe`` signature
+works.  The fault-tolerance hooks (``observe_capacity``, ``record_fault``,
+``record_work``) are optional: the engine only calls the ones an observer
+actually defines.
 """
 
 from __future__ import annotations
@@ -23,13 +29,28 @@ import numpy as np
 from repro.core.allocation import Allocation
 from repro.metrics.fairness import coefficient_of_variation, jain_index
 from repro.model.cluster import Cluster
+from repro.sim.trace import CapacityChange, FaultEvent, SiteFailure, SiteRecovery
 
 
 class Observer:
-    """Interface: called once per simulated interval, before time advances."""
+    """Interface: called once per simulated interval, before time advances.
+
+    Subclasses override :meth:`observe`; the fault-tolerance hooks below
+    default to no-ops so fault-oblivious observers stay one-method classes.
+    """
 
     def observe(self, t: float, dt: float, snapshot: Cluster, alloc: Allocation) -> None:
         raise NotImplementedError
+
+    def observe_capacity(self, t: float, dt: float, effective: float, nominal: float) -> None:
+        """Called every interval with total effective vs nominal capacity."""
+
+    def record_fault(self, t: float, event: FaultEvent) -> None:
+        """Called when the engine applies a fault event."""
+
+    def record_work(self, t: float, kind: str, job: str, site: str, amount: float) -> None:
+        """Called when a failure displaces work; ``kind`` is ``requeued`` /
+        ``migrated`` / ``lost``."""
 
 
 @dataclass(slots=True)
@@ -137,11 +158,103 @@ class ChurnObserver(Observer):
 
 
 @dataclass(slots=True)
+class AvailabilityObserver(Observer):
+    """Fault-tolerance bookkeeping under site churn (experiment X8).
+
+    Integrates the *effective* (post-failure) capacity against the nominal
+    one, and accumulates the work displaced by failures as reported by the
+    engine.  When constructed with a
+    :class:`~repro.core.policies.ResilientPolicy`, it also surfaces that
+    policy's fallback-activation count, so one object summarizes the whole
+    degraded-mode story of a run.
+    """
+
+    policy: object | None = None  # optional ResilientPolicy (for fallback counts)
+    time_observed: float = 0.0
+    effective_capacity_integral: float = 0.0
+    nominal_capacity_integral: float = 0.0
+    work_lost: float = 0.0
+    work_requeued: float = 0.0
+    work_migrated: float = 0.0
+    n_failures: int = 0
+    n_recoveries: int = 0
+    n_capacity_changes: int = 0
+
+    def observe(self, t: float, dt: float, snapshot: Cluster, alloc: Allocation) -> None:
+        """Capacity is tracked via :meth:`observe_capacity`; nothing to do here."""
+
+    def observe_capacity(self, t: float, dt: float, effective: float, nominal: float) -> None:
+        if dt <= 0.0:
+            return
+        self.time_observed += dt
+        self.effective_capacity_integral += effective * dt
+        self.nominal_capacity_integral += nominal * dt
+
+    def record_fault(self, t: float, event: FaultEvent) -> None:
+        if isinstance(event, SiteFailure):
+            self.n_failures += 1
+        elif isinstance(event, SiteRecovery):
+            self.n_recoveries += 1
+        elif isinstance(event, CapacityChange):
+            self.n_capacity_changes += 1
+
+    def record_work(self, t: float, kind: str, job: str, site: str, amount: float) -> None:
+        if kind == "lost":
+            self.work_lost += amount
+        elif kind == "requeued":
+            self.work_requeued += amount
+        elif kind == "migrated":
+            self.work_migrated += amount
+
+    @property
+    def availability(self) -> float:
+        """Time-averaged effective / nominal capacity (1.0 = no downtime)."""
+        if self.nominal_capacity_integral <= 0.0:
+            return np.nan
+        return self.effective_capacity_integral / self.nominal_capacity_integral
+
+    @property
+    def fallback_activations(self) -> int:
+        """Solver-fallback activations of the linked :class:`ResilientPolicy`."""
+        stats = getattr(self.policy, "stats", None)
+        return int(getattr(stats, "fallback_activations", 0))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "availability": self.availability,
+            "work_lost": self.work_lost,
+            "work_requeued": self.work_requeued,
+            "work_migrated": self.work_migrated,
+            "n_failures": float(self.n_failures),
+            "n_recoveries": float(self.n_recoveries),
+            "fallback_activations": float(self.fallback_activations),
+        }
+
+
+@dataclass(slots=True)
 class CompositeObserver(Observer):
-    """Fan one observation out to several observers."""
+    """Fan one observation (and every fault hook) out to several observers."""
 
     observers: list[Observer] = field(default_factory=list)
 
     def observe(self, t: float, dt: float, snapshot: Cluster, alloc: Allocation) -> None:
         for obs in self.observers:
             obs.observe(t, dt, snapshot, alloc)
+
+    def observe_capacity(self, t: float, dt: float, effective: float, nominal: float) -> None:
+        for obs in self.observers:
+            fn = getattr(obs, "observe_capacity", None)
+            if fn is not None:
+                fn(t, dt, effective, nominal)
+
+    def record_fault(self, t: float, event: FaultEvent) -> None:
+        for obs in self.observers:
+            fn = getattr(obs, "record_fault", None)
+            if fn is not None:
+                fn(t, event)
+
+    def record_work(self, t: float, kind: str, job: str, site: str, amount: float) -> None:
+        for obs in self.observers:
+            fn = getattr(obs, "record_work", None)
+            if fn is not None:
+                fn(t, kind, job, site, amount)

@@ -13,7 +13,9 @@ provides:
   spatial law, for the dynamic experiments (load sweep F7),
 * :mod:`~repro.workload.traces` — a trace-like generator with heavy-tailed
   job sizes and diurnal modulation, substituting for proprietary cluster
-  traces (DESIGN.md, substitution note).
+  traces (DESIGN.md, substitution note),
+* :mod:`~repro.workload.failures` — seeded Poisson MTBF/MTTR site-failure
+  traces for the fault-tolerance experiments (X8, docs/robustness.md).
 """
 
 from repro.workload.zipf import zipf_probabilities, zipf_sample
@@ -21,6 +23,7 @@ from repro.workload.generator import WorkloadSpec, generate_cluster, generate_jo
 from repro.workload.arrivals import ArrivalSpec, generate_arrival_jobs
 from repro.workload.traces import TraceSpec, generate_trace_jobs
 from repro.workload.scenarios import SCENARIOS, get_scenario
+from repro.workload.failures import FailureSpec, generate_failure_trace
 
 __all__ = [
     "zipf_probabilities",
@@ -34,4 +37,6 @@ __all__ = [
     "generate_trace_jobs",
     "SCENARIOS",
     "get_scenario",
+    "FailureSpec",
+    "generate_failure_trace",
 ]

@@ -1,0 +1,84 @@
+"""Seeded site-failure traces: Poisson MTBF/MTTR churn per site.
+
+The fault-tolerance experiments (X8, docs/robustness.md) drive the
+simulator with a list of :class:`~repro.sim.trace.FaultEvent` inputs.
+This module generates them from the classic renewal model: each site
+alternates between *up* intervals drawn ``Exponential(mtbf)`` and *down*
+intervals drawn ``Exponential(mttr)``, independently across sites, from
+one seeded :class:`numpy.random.Generator`.
+
+Every generated failure is paired with its recovery — even when the
+repair lands past ``horizon`` — so a simulation consuming the trace never
+ends with a site wedged down by trace truncation rather than by the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import require
+from repro.sim.trace import FaultEvent, SiteFailure, SiteRecovery
+
+
+@dataclass(frozen=True, slots=True)
+class FailureSpec:
+    """Parameters of the per-site renewal failure process.
+
+    ``mtbf``/``mttr`` are the means of the exponential up/down times, in
+    the same time unit as the simulation.  ``degraded_fraction`` is the
+    capacity fraction a failed site retains (0 = full outage, (0,1) =
+    brownout).  ``max_failures_per_site`` caps the number of failures a
+    single site can contribute (None = unlimited within the horizon).
+    """
+
+    mtbf: float = 50.0
+    mttr: float = 10.0
+    horizon: float = 200.0
+    degraded_fraction: float = 0.0
+    max_failures_per_site: int | None = None
+
+    def __post_init__(self) -> None:
+        require(self.mtbf > 0.0, f"mtbf must be positive, got {self.mtbf}")
+        require(self.mttr > 0.0, f"mttr must be positive, got {self.mttr}")
+        require(self.horizon > 0.0, f"horizon must be positive, got {self.horizon}")
+        require(
+            0.0 <= self.degraded_fraction < 1.0,
+            f"degraded_fraction must be in [0, 1), got {self.degraded_fraction}",
+        )
+        require(
+            self.max_failures_per_site is None or self.max_failures_per_site >= 0,
+            "max_failures_per_site must be None or >= 0",
+        )
+
+
+def generate_failure_trace(
+    site_names: list[str] | tuple[str, ...],
+    spec: FailureSpec = FailureSpec(),
+    rng: np.random.Generator | None = None,
+) -> list[FaultEvent]:
+    """Draw a failure/recovery trace for ``site_names`` under ``spec``.
+
+    Returns the merged per-site renewal processes as a single list sorted
+    by ``(time, site)``; per site the events strictly alternate
+    failure/recovery starting from an *up* state at time 0.
+    """
+    require(len(site_names) > 0, "need at least one site name")
+    require(len(set(site_names)) == len(site_names), "site names must be unique")
+    if rng is None:
+        rng = np.random.default_rng()
+    events: list[FaultEvent] = []
+    for name in site_names:
+        n_failures = 0
+        t = float(rng.exponential(spec.mtbf))
+        while t < spec.horizon:
+            if spec.max_failures_per_site is not None and n_failures >= spec.max_failures_per_site:
+                break
+            events.append(SiteFailure(t, name, spec.degraded_fraction))
+            n_failures += 1
+            repair = t + float(rng.exponential(spec.mttr))
+            events.append(SiteRecovery(repair, name))
+            t = repair + float(rng.exponential(spec.mtbf))
+    events.sort(key=lambda e: (e.time, e.site))
+    return events

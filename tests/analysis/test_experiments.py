@@ -24,7 +24,7 @@ class TestRegistry:
     def test_all_ids_present(self):
         assert set(EXPERIMENTS) == {
             "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8",
-            "T1", "T2", "T3", "T4", "X1", "X2", "X3", "X4", "X5", "X6", "X7",
+            "T1", "T2", "T3", "T4", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8",
         }
 
 
@@ -71,6 +71,14 @@ class TestSmoke:
     def test_t3_runs(self):
         out = EXPERIMENTS["T3"](scale=0.1, seeds=(0,))
         assert "split mode" in out.text and "T3b" in out.text
+
+    def test_x8_runs(self):
+        out = EXPERIMENTS["X8"](scale=0.15, seeds=(0,), mtbf_factors=(2.0,), policies=("psmf", "amf"))
+        sw = out.data["sweep"]
+        for name in ("psmf", "amf"):
+            jain = sw.metric_at(f"{name}/time_avg_jain", 2.0)
+            assert 0.0 <= jain <= 1.0 + 1e-9
+            assert sw.metric_at(f"{name}/mean_jct", 2.0) > 0.0
 
 
 class TestShapes:

@@ -18,6 +18,7 @@ EXPECTED = {
     "amf-ct-lex",
     "amf-e-ct",
     "amf-prop",
+    "amf-resilient",
 }
 
 

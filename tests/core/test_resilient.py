@@ -1,0 +1,173 @@
+"""Tests for the solver fallback chain and the allocation-error taxonomy."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.policies import (
+    AllocationError,
+    CapacityViolationError,
+    DemandViolationError,
+    NegativeAllocationError,
+    NonFiniteAllocationError,
+    ResilientPolicy,
+    SolverError,
+    SupportViolationError,
+    get_policy,
+    proportional_fallback,
+    validate_allocation,
+)
+from repro.model.cluster import Cluster
+from repro.model.job import Job
+from repro.model.site import Site
+
+
+@pytest.fixture
+def cluster():
+    sites = [Site("A", 2.0), Site("B", 1.0)]
+    jobs = [
+        Job("x", {"A": 3.0, "B": 1.0}),
+        Job("y", {"A": 1.0, "B": 2.0}, demand={"A": 0.5, "B": 2.0}),
+    ]
+    return Cluster(sites, jobs)
+
+
+def raising_policy(cluster):
+    raise RuntimeError("solver exploded")
+
+
+def nan_policy(cluster):
+    return SimpleNamespace(matrix=np.full((cluster.n_jobs, cluster.n_sites), np.nan), policy="nan")
+
+
+class TestValidateAllocation:
+    def test_accepts_real_allocation_unchanged(self, cluster):
+        alloc = get_policy("amf")(cluster)
+        assert validate_allocation(cluster, alloc) is alloc
+
+    def test_not_an_allocation(self, cluster):
+        with pytest.raises(SolverError):
+            validate_allocation(cluster, object())
+
+    def test_wrong_shape(self, cluster):
+        with pytest.raises(SolverError):
+            validate_allocation(cluster, SimpleNamespace(matrix=np.zeros((1, 1))))
+
+    def test_non_finite(self, cluster):
+        with pytest.raises(NonFiniteAllocationError):
+            validate_allocation(cluster, nan_policy(cluster))
+
+    def test_negative_entries(self, cluster):
+        m = np.zeros((2, 2))
+        m[0, 0] = -0.5
+        with pytest.raises(NegativeAllocationError):
+            validate_allocation(cluster, SimpleNamespace(matrix=m))
+
+    def test_support_violation(self):
+        sites = [Site("A", 2.0), Site("B", 1.0)]
+        jobs = [Job("x", {"A": 1.0}), Job("y", {"A": 1.0, "B": 1.0})]
+        c = Cluster(sites, jobs)
+        m = np.zeros((2, 2))
+        m[0, 1] = 0.5  # x has no work at B
+        with pytest.raises(SupportViolationError):
+            validate_allocation(c, SimpleNamespace(matrix=m))
+
+    def test_demand_violation(self, cluster):
+        m = np.zeros((2, 2))
+        m[1, 0] = 1.0  # y's demand cap at A is 0.5
+        with pytest.raises(DemandViolationError):
+            validate_allocation(cluster, SimpleNamespace(matrix=m))
+
+    def test_capacity_violation(self, cluster):
+        m = np.array([[1.5, 0.9], [0.0, 0.9]])  # B column sums to 1.8 > 1.0
+        with pytest.raises(CapacityViolationError):
+            validate_allocation(cluster, SimpleNamespace(matrix=m))
+
+    def test_rewraps_foreign_object(self, cluster):
+        m = np.array([[1.0, 0.5], [0.5, 0.5]])
+        out = validate_allocation(cluster, SimpleNamespace(matrix=m, policy="foreign"))
+        assert isinstance(out, Allocation)
+        assert out.policy == "foreign"
+
+    def test_taxonomy_is_value_error(self):
+        for err in (
+            SolverError,
+            NonFiniteAllocationError,
+            NegativeAllocationError,
+            SupportViolationError,
+            DemandViolationError,
+            CapacityViolationError,
+        ):
+            assert issubclass(err, AllocationError)
+            assert issubclass(err, ValueError)
+
+
+class TestProportionalFallback:
+    def test_always_valid(self, cluster):
+        alloc = proportional_fallback(cluster)
+        assert validate_allocation(cluster, alloc) is alloc
+        assert alloc.policy == "proportional-fallback"
+
+    def test_respects_demand_caps(self, cluster):
+        alloc = proportional_fallback(cluster)
+        assert alloc.matrix[1, 0] <= 0.5 + 1e-9  # y capped at A
+
+    def test_weight_proportional_split(self):
+        sites = [Site("A", 3.0)]
+        jobs = [
+            Job("x", {"A": 10.0}, weight=2.0),
+            Job("y", {"A": 10.0}, weight=1.0),
+        ]
+        alloc = proportional_fallback(Cluster(sites, jobs))
+        assert alloc.matrix[0, 0] == pytest.approx(2.0)
+        assert alloc.matrix[1, 0] == pytest.approx(1.0)
+
+
+class TestResilientPolicy:
+    def test_primary_serves_when_healthy(self, cluster):
+        policy = ResilientPolicy("amf")
+        alloc = policy(cluster)
+        assert alloc.matrix.shape == (2, 2)
+        assert policy.stats.solves == 1
+        assert policy.stats.fallback_activations == 0
+        assert policy.stats.served_by == {"amf": 1}
+
+    def test_raising_primary_rescued_by_psmf(self, cluster):
+        policy = ResilientPolicy(raising_policy, ("psmf",))
+        alloc = policy(cluster)
+        assert validate_allocation(cluster, alloc) is not None
+        assert policy.stats.fallback_activations == 1
+        assert policy.stats.served_by == {"psmf": 1}
+        assert any("solver exploded" in e for e in policy.stats.errors)
+
+    def test_invalid_result_rescued(self, cluster):
+        policy = ResilientPolicy(nan_policy, ("psmf",))
+        policy(cluster)
+        assert policy.stats.fallback_activations == 1
+        assert any("NonFiniteAllocationError" in e for e in policy.stats.errors)
+
+    def test_all_fallbacks_fail_uses_proportional(self, cluster):
+        policy = ResilientPolicy(raising_policy, (raising_policy,))
+        alloc = policy(cluster)
+        assert alloc.policy == "proportional-fallback"
+        assert policy.stats.served_by == {"proportional-fallback": 1}
+        assert policy.stats.fallback_activations == 1
+
+    def test_name_reflects_primary(self):
+        assert ResilientPolicy("amf").__name__ == "resilient:amf"
+        assert ResilientPolicy("psmf", ()).__name__ == "resilient:psmf"
+
+    def test_registered_in_registry(self, cluster):
+        policy = get_policy("amf-resilient")
+        alloc = policy(cluster)
+        assert alloc.matrix.shape == (2, 2)
+
+    def test_error_log_is_bounded(self, cluster):
+        policy = ResilientPolicy(raising_policy, ("psmf",))
+        policy.stats.max_errors = 5
+        for _ in range(20):
+            policy(cluster)
+        assert len(policy.stats.errors) == 5
+        assert policy.stats.fallback_activations == 20

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.allocation import Allocation
 from repro.core.amf import solve_amf
 from repro.core.persite import solve_psmf
 from repro.metrics.fairness import (

@@ -1,6 +1,5 @@
 """Property-based tests of the fluid simulator (hypothesis)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

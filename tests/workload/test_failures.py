@@ -1,0 +1,95 @@
+"""Tests for the Poisson MTBF/MTTR failure-trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import SiteFailure, SiteRecovery
+from repro.workload.failures import FailureSpec, generate_failure_trace
+
+
+NAMES = ["a", "b", "c"]
+SPEC = FailureSpec(mtbf=20.0, mttr=5.0, horizon=200.0)
+
+
+def trace(seed=0, names=NAMES, spec=SPEC):
+    return generate_failure_trace(names, spec, np.random.default_rng(seed))
+
+
+class TestStructure:
+    def test_sorted_by_time(self):
+        events = trace()
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_alternates_per_site_starting_with_failure(self):
+        events = trace()
+        for name in NAMES:
+            mine = [e for e in events if e.site == name]
+            for i, ev in enumerate(mine):
+                expected = SiteFailure if i % 2 == 0 else SiteRecovery
+                assert isinstance(ev, expected), (name, i)
+
+    def test_every_failure_has_a_recovery(self):
+        events = trace()
+        for name in NAMES:
+            fails = sum(1 for e in events if e.site == name and isinstance(e, SiteFailure))
+            recs = sum(1 for e in events if e.site == name and isinstance(e, SiteRecovery))
+            assert fails == recs
+            assert fails >= 1  # horizon = 10x mtbf: vanishingly unlikely to be empty
+
+    def test_recovery_after_its_failure(self):
+        events = trace()
+        for name in NAMES:
+            mine = [e.time for e in events if e.site == name]
+            assert mine == sorted(mine)
+            assert all(mine[i] < mine[i + 1] for i in range(len(mine) - 1))
+
+    def test_failures_within_horizon(self):
+        events = trace()
+        for e in events:
+            if isinstance(e, SiteFailure):
+                assert e.time < SPEC.horizon  # recoveries may land past it
+
+
+class TestKnobs:
+    def test_seeded_reproducibility(self):
+        assert trace(seed=42) == trace(seed=42)
+        assert trace(seed=42) != trace(seed=43)
+
+    def test_degraded_fraction_propagates(self):
+        spec = FailureSpec(mtbf=20.0, mttr=5.0, horizon=100.0, degraded_fraction=0.25)
+        events = generate_failure_trace(NAMES, spec, np.random.default_rng(0))
+        fails = [e for e in events if isinstance(e, SiteFailure)]
+        assert fails and all(e.degraded_fraction == 0.25 for e in fails)
+
+    def test_max_failures_per_site(self):
+        spec = FailureSpec(mtbf=1.0, mttr=0.5, horizon=100.0, max_failures_per_site=2)
+        events = generate_failure_trace(NAMES, spec, np.random.default_rng(0))
+        for name in NAMES:
+            fails = sum(1 for e in events if e.site == name and isinstance(e, SiteFailure))
+            assert fails <= 2
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(mtbf=0.0),
+            dict(mttr=-1.0),
+            dict(horizon=0.0),
+            dict(degraded_fraction=1.0),
+            dict(degraded_fraction=-0.1),
+            dict(max_failures_per_site=-1),
+        ],
+    )
+    def test_bad_spec_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FailureSpec(**kwargs)
+
+    def test_empty_site_list_rejected(self):
+        with pytest.raises(ValueError):
+            generate_failure_trace([], SPEC, np.random.default_rng(0))
+
+    def test_duplicate_site_names_rejected(self):
+        with pytest.raises(ValueError):
+            generate_failure_trace(["a", "a"], SPEC, np.random.default_rng(0))
