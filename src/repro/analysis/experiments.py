@@ -26,7 +26,7 @@ from repro.core.policies import get_policy
 from repro.metrics.fairness import balance_report
 from repro.model.cluster import Cluster
 from repro.sim.engine import simulate
-from repro.workload.arrivals import ArrivalSpec, generate_arrival_jobs
+from repro.workload.arrivals import ArrivalSpec, generate_arrival_jobs, generate_churn_schedule
 from repro.workload.generator import WorkloadSpec, generate_cluster, generate_jobs, sites_for
 
 
@@ -924,6 +924,9 @@ def run_x8_fault_tolerance(
 
     n_jobs = _scaled(30, scale)
     n_sites = _scaled(8, scale, minimum=3)
+    resilience: dict[str, dict] = {
+        name: {"solves": 0, "fallbacks": 0, "errors": 0, "served_by": {}} for name in policies
+    }
 
     def point(factor, rng):
         spec = WorkloadSpec(n_jobs=n_jobs, n_sites=n_sites, theta=theta)
@@ -953,6 +956,12 @@ def run_x8_fault_tolerance(
             out[f"{name}/work_reexecuted"] = result.work_reexecuted
             out[f"{name}/fallbacks"] = float(resilient.stats.fallback_activations)
             out[f"{name}/availability"] = avail.availability
+            agg = resilience[name]
+            agg["solves"] += resilient.stats.solves
+            agg["fallbacks"] += resilient.stats.fallback_activations
+            agg["errors"] += len(resilient.stats.errors)
+            for served, count in resilient.stats.served_by.items():
+                agg["served_by"][served] = agg["served_by"].get(served, 0) + count
         return out
 
     sw = sweep1d("mtbf_factor", list(mtbf_factors), point, seeds=seeds)
@@ -966,7 +975,148 @@ def run_x8_fault_tolerance(
         title=f"X8: fault tolerance under site churn ({failure_mode} mode; MTBF in units of T0)",
         sparklines=True,
     )
-    return ExperimentOutput("X8", text, {"sweep": sw})
+    lines = ["", "solver fallback chain (aggregated over the sweep):"]
+    for name, agg in resilience.items():
+        served = ", ".join(f"{k}={v}" for k, v in sorted(agg["served_by"].items())) or "none"
+        lines.append(
+            f"  {name}: {agg['solves']} solves, {agg['fallbacks']} fallback activations, "
+            f"{agg['errors']} errors; served by: {served}"
+        )
+    text += "\n".join(lines)
+    return ExperimentOutput("X8", text, {"sweep": sw, "resilience": resilience})
+
+
+# ----------------------------------------------------------------------
+# X9 — extension: online allocation service under Poisson churn
+# ----------------------------------------------------------------------
+
+
+def run_x9_service(
+    scale: float = 1.0,
+    seeds: Sequence[int] = DEFAULT_SEEDS[:2],
+    load: float = 0.7,
+    theta: float = 1.2,
+    queries_per_batch: int = 4,
+    coalesce_gaps: float = 3.0,
+    verify: bool = True,
+) -> ExperimentOutput:
+    """X9 (extension): warm-started incremental AMF behind the service daemon.
+
+    A closed-loop load generator drives Poisson job churn (arrivals +
+    exponential sojourns, :func:`repro.workload.arrivals.generate_churn_schedule`)
+    through the full :class:`~repro.service.daemon.AllocationService`
+    pipeline on a *virtual* clock: events coalesce into batches
+    (``max_delay`` = ``coalesce_gaps`` mean event gaps), each batch triggers
+    one warm re-solve, and ``queries_per_batch`` read queries model the
+    serving traffic that hits the allocation cache.
+
+    Every warm solution is checked against a cold oracle on the identical
+    snapshot: the *same* resilient pipeline (validation, diagnostics,
+    allocation plumbing) built around an :class:`IncrementalAmfSolver` with
+    ``persistent=False``, so the timed A/B differs **only** in whether the
+    cutting-plane basis survives between solves.  The experiment thus
+    simultaneously *proves* incremental == cold and *measures* what the
+    warm start, the batching and the cache each buy.
+    """
+    from repro._util import ABS_TOL
+    from repro.core.policies import ResilientPolicy
+    from repro.service import AllocationService, ClusterState, IncrementalAmfSolver, events_from_schedule
+    from repro.sim.scheduler import SolveStats
+
+    n_arrivals = _scaled(120, scale, minimum=10)
+    n_sites = _scaled(8, scale, minimum=3)
+    population = _scaled(14, scale, minimum=4)
+
+    def run_one(seed: int) -> dict[str, float]:
+        rng = np.random.default_rng(seed)
+        spec = ArrivalSpec(
+            workload=WorkloadSpec(n_jobs=n_arrivals, n_sites=n_sites, theta=theta), load=load
+        )
+        sites, schedule = generate_churn_schedule(rng=rng, spec=spec, target_population=population)
+        events = events_from_schedule(schedule)
+        mean_gap = (schedule[-1][0] - schedule[0][0]) / max(1, len(schedule) - 1)
+        now = [0.0]
+        service = AllocationService(
+            ClusterState(sites),
+            max_delay=coalesce_gaps * mean_gap,
+            clock=lambda: now[0],
+        )
+        cold_solver = IncrementalAmfSolver(persistent=False)
+        cold_policy = ResilientPolicy(cold_solver, ("amf", "psmf"))
+        cold_stats = SolveStats()
+        max_dev = 0.0
+        jobs_solved = 0
+
+        def drain() -> None:
+            nonlocal max_dev, jobs_solved
+            served = service.allocation(fresh=False)
+            if not served.cached:
+                cluster = served.allocation.cluster
+                jobs_solved += cluster.n_jobs
+                if verify:
+                    t0 = time.perf_counter()
+                    oracle = cold_policy(cluster)
+                    cold_stats.record(time.perf_counter() - t0, cluster.n_jobs)
+                    dev = float(np.abs(served.allocation.aggregates - oracle.aggregates).max(initial=0.0))
+                    max_dev = max(max_dev, dev)
+            for _ in range(queries_per_batch - 1):
+                service.allocation(fresh=False)
+
+        for event in events:
+            now[0] = event.time
+            service.submit(event)
+            if service.queue.due():
+                drain()
+        now[0] = float("inf")
+        drain()
+
+        inc = service.incremental.stats
+        warm = service.solve_stats
+        qstats = service.queue.stats
+        out = {
+            "events": float(service.events_accepted),
+            "batches": float(qstats.batches),
+            "mean_batch": qstats.mean_batch,
+            "solves": float(warm.solves),
+            "solves_per_sec": warm.solves / warm.total_seconds if warm.total_seconds else np.nan,
+            "warm_mean_ms": warm.mean_ms,
+            "warm_p50_ms": warm.percentile_ms(50),
+            "warm_p99_ms": warm.percentile_ms(99),
+            "cache_hit_rate": service.cache.stats.hit_rate,
+            "warm_feas_per_solve": inc.feasibility_solves / max(1, inc.solves),
+            "warm_cuts_per_solve": inc.cuts_generated / max(1, inc.solves),
+            "fallbacks": float(service.resilience.fallback_activations),
+            "mean_active_jobs": jobs_solved / max(1, warm.solves),
+        }
+        if verify:
+            out.update(
+                {
+                    "cold_mean_ms": cold_stats.mean_ms,
+                    "cold_p50_ms": cold_stats.percentile_ms(50),
+                    "cold_p99_ms": cold_stats.percentile_ms(99),
+                    "cold_feas_per_solve": cold_solver.stats.feasibility_solves / max(1, cold_stats.solves),
+                    "speedup": cold_stats.mean_ms / warm.mean_ms if warm.solves else np.nan,
+                    "max_abs_deviation": max_dev,
+                    "tolerance": ABS_TOL * max(1.0, float(population)) * 10,
+                }
+            )
+        return out
+
+    runs = [run_one(seed) for seed in seeds]
+    agg = {k: float(np.mean([r[k] for r in runs])) for k in runs[0]}
+    if verify:
+        agg["max_abs_deviation"] = float(max(r["max_abs_deviation"] for r in runs))
+    rows = [[k, f"{v:.4g}"] for k, v in agg.items()]
+    text = render_table(
+        ["metric", "mean over seeds"],
+        rows,
+        title=(
+            f"X9: online service under Poisson churn "
+            f"(~{population} concurrent jobs, {n_sites} sites, load={load}, "
+            f"{queries_per_batch} queries/batch)"
+        ),
+    )
+    return ExperimentOutput("X9", text, {"aggregate": agg, "runs": runs})
 
 
 # ----------------------------------------------------------------------
@@ -994,4 +1144,5 @@ EXPERIMENTS: Mapping[str, object] = {
     "X6": run_x6_discrete_convergence,
     "X7": run_x7_multiresource,
     "X8": run_x8_fault_tolerance,
+    "X9": run_x9_service,
 }

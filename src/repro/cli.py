@@ -12,6 +12,8 @@ Subcommands
     Run the fluid simulator on a generated workload and print JCT stats.
 ``validate``
     Generate an instance and print its diagnostics.
+``serve``
+    Boot the online allocation service (HTTP/JSON; docs/service.md).
 """
 
 from __future__ import annotations
@@ -152,6 +154,15 @@ def cmd_simulate(args) -> int:
         restart_penalty=args.restart_penalty,
     )
     print(res)
+    if not isinstance(policy, str) and hasattr(getattr(policy, "stats", None), "served_by"):
+        stats = policy.stats
+        served = ", ".join(f"{k}={v}" for k, v in sorted(stats.served_by.items())) or "none"
+        print(
+            f"resilience: {stats.solves} solves, {stats.fallback_activations} fallback "
+            f"activations, {len(stats.errors)} errors; served by: {served}"
+        )
+        for line in stats.errors[:5]:
+            print(f"  error: {line}")
     if args.failures:
         print(
             f"faults: {res.n_failures} failures, {res.n_recoveries} recoveries, "
@@ -182,6 +193,30 @@ def cmd_validate(args) -> int:
     rng = np.random.default_rng(args.seed)
     cluster = generate_cluster(_spec(args), rng)
     print(validate_instance(cluster))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service import AllocationService, ClusterState
+    from repro.service.http import serve
+
+    if args.load:
+        from repro.model.serialize import load_cluster
+
+        cluster = load_cluster(args.load)
+        state = ClusterState(cluster.sites, cluster.jobs)
+    else:
+        from repro.model.site import Site
+
+        state = ClusterState([Site(f"s{j}", args.capacity) for j in range(args.sites)])
+    service = AllocationService(
+        state,
+        max_delay=args.max_delay,
+        max_batch=args.max_batch,
+        cache_size=args.cache_size,
+        max_cuts=args.max_cuts,
+    )
+    serve(service, host=args.host, port=args.port, quiet=args.quiet)
     return 0
 
 
@@ -251,6 +286,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_val = sub.add_parser("validate", help="diagnostics of a generated instance")
     _add_workload_args(p_val)
     p_val.set_defaults(fn=cmd_validate)
+
+    p_srv = sub.add_parser("serve", help="boot the online allocation service (docs/service.md)")
+    p_srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_srv.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    p_srv.add_argument("--sites", type=int, default=4, help="number of sites to boot with (s0..s{N-1})")
+    p_srv.add_argument("--capacity", type=float, default=10.0, help="capacity per booted site")
+    p_srv.add_argument("--load", metavar="JSON", help="boot from a cluster JSON file instead of empty sites")
+    p_srv.add_argument("--max-delay", type=float, default=0.05, help="seconds an event may wait for its batch")
+    p_srv.add_argument("--max-batch", type=int, default=256, help="max events coalesced into one re-solve")
+    p_srv.add_argument("--cache-size", type=int, default=128, help="allocation cache entries (LRU)")
+    p_srv.add_argument("--max-cuts", type=int, default=64, help="persistent cutting-plane pool bound")
+    p_srv.add_argument("--quiet", action="store_true", help="suppress per-request access logs")
+    p_srv.set_defaults(fn=cmd_serve)
 
     p_rep = sub.add_parser("report", help="run all experiments and write a markdown report")
     p_rep.add_argument("--out", default="report.md", help="output path")

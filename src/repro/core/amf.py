@@ -11,10 +11,12 @@ which suggests the exact algorithm implemented here:
 ``clip(lam * weight_i, floor_i, cap_i)``).  Each round finds the largest
 ``lam`` feasible together with the already-frozen jobs:
 
-1. Maintain a set of *valid cut constraints* ``sum_{i in J} A_i <= rhs``
-   (seeded with the total-capacity cut over all jobs and sites).
-2. Propose ``lam = min_c max{lam : LHS_c(lam) <= rhs_c}`` — exact via the
-   piecewise-linear :class:`PiecewiseFill` (no binary search).
+1. Maintain a pool of *valid site-cut constraints*: for a site set ``S``,
+   ``sum_i max(0, A_i - cross_i(S)) <= cap(S)`` where ``cross_i(S)`` is
+   job ``i``'s demand cap out of ``S`` (seeded with ``S`` = all sites,
+   i.e. the total-capacity cut).
+2. Propose ``lam = min_S max{lam : LHS_S(lam) <= cap(S)}`` — exact via the
+   piecewise-linear :class:`SiteCutFill` (no binary search).
 3. Check feasibility at the proposal with one max-flow.  Feasible: the
    proposal is this round's max-min level, because any larger ``lam``
    violates a recorded cut.  Infeasible: the min cut yields a *new violated
@@ -34,7 +36,8 @@ guarantees, :mod:`repro.core.enhanced`): progressive filling then runs
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -43,7 +46,15 @@ from repro.core.allocation import Allocation, scrub_matrix
 from repro.flownet.bipartite import build_network
 from repro.model.cluster import Cluster
 
-__all__ = ["solve_amf", "amf_levels", "amf_levels_bisect", "AmfDiagnostics", "PiecewiseFill"]
+__all__ = [
+    "solve_amf",
+    "amf_levels",
+    "amf_levels_bisect",
+    "AmfDiagnostics",
+    "PiecewiseFill",
+    "SiteCutFill",
+    "CutBasis",
+]
 
 
 @dataclass(slots=True)
@@ -55,9 +66,126 @@ class AmfDiagnostics:
     cuts_generated: int = 0
     frozen_by_cap: int = 0
     frozen_by_cut: int = 0
+    warm_cuts_seeded: int = 0  # valid cuts replayed from a CutBasis
 
 
-class PiecewiseFill:
+class CutBasis:
+    """Persistent cutting-plane state, reusable across *related* solves.
+
+    For a site set ``S``, max-flow duality (Gale–Hoffman) gives the
+    *tightest* valid inequality induced by ``S`` on **any** cluster:
+
+    ``sum_i max(0, A_i - cross_i(S))  <=  cap(S)``  with
+    ``cross_i(S) = sum_{j not in S} d_ij``.
+
+    The classic job-set cut ``sum_{i in J} A_i <= cap(S) + sum_{i in J,
+    j not in S} d_ij`` is the relaxation obtained by freezing one job set
+    ``J`` into that inequality; under churn a stored ``J`` goes stale (new
+    arrivals are missing from it, so the replayed cut is valid but loose
+    and buys no feasibility probes).  The site-cut form re-derives the
+    maximizing job set ``J = { i : A_i > cross_i(S) }`` at every fill
+    level for whatever jobs the next cluster has, so a bottleneck site set
+    stays *tight* as jobs come and go.  The basis therefore stores only
+    site-*name* sets and re-instantiates ``cross``/``cap`` against the
+    current cluster (vanished sites are dropped; the inequality stays
+    valid).
+
+    Seeding a solve with these cuts cannot change its result — feasibility
+    is still certified by max-flow every round — it only lets the solver
+    skip re-discovering bottlenecks it has already seen, which is what makes
+    the online service's warm-started re-solves cheap
+    (:class:`repro.service.solver.IncrementalAmfSolver`).
+
+    The pool is a bounded LRU (``max_cuts``): recently re-recorded cuts
+    survive, stale ones age out, so long-lived daemons don't accrete
+    constraints from clusters that no longer resemble the present one.
+    """
+
+    __slots__ = ("_cuts", "max_cuts")
+
+    def __init__(self, max_cuts: int = 64):
+        require(max_cuts >= 1, "max_cuts must be at least 1")
+        self.max_cuts = max_cuts
+        self._cuts: OrderedDict[frozenset[str], None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._cuts)
+
+    def clear(self) -> None:
+        self._cuts.clear()
+
+    def record(self, site_names: frozenset[str]) -> None:
+        """Remember one site set ``S`` (refreshes LRU position if known)."""
+        key = frozenset(site_names)
+        if key in self._cuts:
+            self._cuts.move_to_end(key)
+            return
+        self._cuts[key] = None
+        while len(self._cuts) > self.max_cuts:
+            self._cuts.popitem(last=False)
+
+    def instantiate(self, cluster: Cluster) -> list[frozenset[int]]:
+        """Stored site sets as index sets on ``cluster`` (empty sets dropped)."""
+        site_idx = {s.name: j for j, s in enumerate(cluster.sites)}
+        out: list[frozenset[int]] = []
+        for sites in self._cuts:
+            idx = frozenset(site_idx[n] for n in sites if n in site_idx)
+            if idx:
+                out.append(idx)
+        return out
+
+
+class _PiecewiseEvaluator:
+    """Segment-sweep machinery shared by :class:`PiecewiseFill` and
+    :class:`SiteCutFill`: a continuous, non-decreasing piecewise-linear
+    function built from ``(level, const_jump, slope_jump)`` event rows.
+    """
+
+    __slots__ = ("base", "levels", "consts", "slopes", "total_cap", "top_level")
+
+    def _build(self, events: np.ndarray, base: float, total_cap: float, top_level: float) -> None:
+        order = np.argsort(events[:, 0], kind="stable")
+        events = events[order]
+        self.base = base  # value before any breakpoint
+        self.levels = events[:, 0]
+        self.consts = base + np.cumsum(events[:, 1])
+        self.slopes = np.cumsum(events[:, 2])
+        self.total_cap = total_cap  # sup of the function (value as lam -> inf)
+        self.top_level = top_level
+
+    def value(self, lam: float) -> float:
+        """Evaluate the function at ``lam`` (``lam`` must be >= 0)."""
+        k = int(np.searchsorted(self.levels, lam, side="right")) - 1
+        if k < 0:
+            return self.base
+        return float(self.consts[k] + self.slopes[k] * lam)
+
+    def max_level(self, rhs: float) -> float:
+        """``sup { lam >= 0 : value(lam) <= rhs }`` (``inf`` when never binding; 0 when even the base exceeds ``rhs``)."""
+        tol = ABS_TOL * max(1.0, abs(rhs))
+        if self.total_cap <= rhs + tol:
+            return np.inf
+        # values at each segment's *start* (== end of previous segment, by continuity):
+        seg_start_vals = self.consts + self.slopes * self.levels
+        # first segment whose start value exceeds rhs — with float slack: a
+        # constraint frozen exactly tight in an earlier round can have its
+        # base land an ulp above rhs, and must read as a plateau, not as
+        # "already violated at lam = 0".
+        idx = int(np.searchsorted(seg_start_vals, rhs + tol, side="right"))
+        if idx == 0:
+            # even the base value is above rhs (only possible with infeasible
+            # floors, which the solver rejects up front) — degenerate answer.
+            return 0.0
+        k = idx - 1  # value(segment start of k) <= rhs + tol < value(segment start of k+1)
+        c, s = self.consts[k], self.slopes[k]
+        if s <= 0.0:
+            # Plateau sitting at ~rhs: the sup is where the function finally
+            # climbs past it, i.e. the next breakpoint.
+            return float(self.levels[idx]) if idx < len(self.levels) else np.inf
+        return float((rhs - c) / s)
+
+
+class PiecewiseFill(_PiecewiseEvaluator):
     """Exact evaluator for ``G(lam) = sum_i clip(lam * w_i, f_i, c_i)``.
 
     ``G`` is continuous, non-decreasing and piecewise linear; this class
@@ -70,7 +198,7 @@ class PiecewiseFill:
     Frozen jobs are modelled by ``f_i = c_i = level_i`` (constant terms).
     """
 
-    __slots__ = ("base", "levels", "consts", "slopes", "total_cap", "top_level")
+    __slots__ = ()
 
     def __init__(self, floors: np.ndarray, caps: np.ndarray, weights: np.ndarray):
         caps = np.asarray(caps, dtype=float)
@@ -87,40 +215,53 @@ class PiecewiseFill:
                 np.stack([ends, caps, -weights], axis=1),
             ]
         )
-        order = np.argsort(events[:, 0], kind="stable")
-        events = events[order]
-        self.base = float(floors.sum())  # G before any job starts rising
-        self.levels = events[:, 0]
-        self.consts = self.base + np.cumsum(events[:, 1])
-        self.slopes = np.cumsum(events[:, 2])
-        self.total_cap = float(caps.sum())
-        self.top_level = float(ends.max(initial=0.0))
+        self._build(events, float(floors.sum()), float(caps.sum()), float(ends.max(initial=0.0)))
 
-    def value(self, lam: float) -> float:
-        """Evaluate ``G(lam)`` (``lam`` must be >= 0)."""
-        k = int(np.searchsorted(self.levels, lam, side="right")) - 1
-        if k < 0:
-            return self.base
-        return float(self.consts[k] + self.slopes[k] * lam)
 
-    def max_level(self, rhs: float) -> float:
-        """``sup { lam >= 0 : G(lam) <= rhs }`` (``inf`` when never binding; 0 when even the floors exceed ``rhs``)."""
-        if self.total_cap <= rhs + ABS_TOL:
-            return np.inf
-        # values at each segment's *start* (== end of previous segment, by continuity):
-        seg_start_vals = self.consts + self.slopes * self.levels
-        # first segment whose start value exceeds rhs:
-        idx = int(np.searchsorted(seg_start_vals, rhs, side="right"))
-        if idx == 0:
-            # even the floor sum is above rhs (only possible with infeasible
-            # floors, which the solver rejects up front) — degenerate answer.
-            return 0.0
-        k = idx - 1  # G(segment start of k) <= rhs < G(segment start of k+1)
-        c, s = self.consts[k], self.slopes[k]
-        if s <= 0.0:
-            # Defensive: continuity makes a zero-slope crossing impossible.
-            return float(self.levels[idx]) if idx < len(self.levels) else np.inf
-        return float((rhs - c) / s)
+class SiteCutFill(_PiecewiseEvaluator):
+    """Exact evaluator for the site-cut constraint LHS
+
+    ``H(lam) = sum_i max(0, clip(lam * w_i, f_i, c_i) - x_i)``
+
+    where ``x_i`` is job ``i``'s *crossing capacity* out of a site set
+    ``S`` (its demand caps to sites outside ``S``).  ``H(lam) <= cap(S)``
+    is the tightest valid inequality induced by ``S`` (Gale–Hoffman): the
+    maximizing job set ``J = { i : t_i(lam) > x_i }`` is implied at every
+    level rather than frozen in, which is what lets :class:`CutBasis`
+    persist bottleneck *site sets* across job churn.
+
+    Sweep identity: ``max(0, t - x) = clip(lam*w, f, c) -
+    clip(lam*w, min(f, x), min(c, x))`` — a difference of two
+    :class:`PiecewiseFill`-style terms, i.e. four events per job.  With
+    ``x = 0`` this degenerates to :class:`PiecewiseFill` exactly.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, floors: np.ndarray, caps: np.ndarray, weights: np.ndarray, cross: np.ndarray):
+        caps = np.asarray(caps, dtype=float)
+        floors = np.minimum(np.asarray(floors, dtype=float), caps)
+        weights = np.asarray(weights, dtype=float)
+        cross = np.asarray(cross, dtype=float)
+        require(bool((weights > 0).all()), "weights must be positive")
+        require(bool(np.isfinite(caps).all()), "caps must be finite (clip to site capacity first)")
+        require(bool((cross >= 0).all()), "crossing capacities must be non-negative")
+        m_floors = np.minimum(floors, cross)
+        m_caps = np.minimum(caps, cross)
+        events = np.concatenate(
+            [
+                np.stack([floors / weights, -floors, weights], axis=1),
+                np.stack([caps / weights, caps, -weights], axis=1),
+                np.stack([m_floors / weights, m_floors, -weights], axis=1),
+                np.stack([m_caps / weights, -m_caps, weights], axis=1),
+            ]
+        )
+        self._build(
+            events,
+            float((floors - m_floors).sum()),
+            float((caps - m_caps).sum()),
+            float((caps / weights).max(initial=0.0)),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -128,42 +269,88 @@ class PiecewiseFill:
 # ----------------------------------------------------------------------
 
 
-@dataclass(slots=True)
-class _Round:
-    """Constraint pool for one progressive-filling round."""
+class _RoundPool:
+    """All site-cut constraints of one round, built and proposed *batched*.
 
-    members: list[np.ndarray] = field(default_factory=list)  # job index arrays
-    fills: list[PiecewiseFill] = field(default_factory=list)
-    rhs: list[float] = field(default_factory=list)
+    Semantically K independent :class:`SiteCutFill` evaluators (one per
+    pooled cut), but constructed as a single ``(K, 4n)`` event sweep so a
+    warm-started solve carrying many persisted cuts does not pay K
+    Python-level constructions per round — that overhead would eat the
+    very feasibility-probe savings the warm start buys.
+    """
 
-    def add(self, jobs: np.ndarray, fill: PiecewiseFill, rhs: float) -> None:
-        self.members.append(jobs)
-        self.fills.append(fill)
-        self.rhs.append(rhs)
+    __slots__ = ("crosses", "rhs", "levels", "consts", "slopes", "total_cap", "top_level")
 
-    def propose(self) -> tuple[float, list[int]]:
+    def __init__(
+        self,
+        floors: np.ndarray,
+        caps: np.ndarray,
+        weights: np.ndarray,
+        crosses: np.ndarray,
+        rhs: np.ndarray,
+    ):
+        k, n = crosses.shape
+        floors = np.minimum(floors, caps)
+        m_floors = np.minimum(floors, crosses)  # (K, n)
+        m_caps = np.minimum(caps, crosses)
+        f_b = np.broadcast_to(floors, (k, n))
+        c_b = np.broadcast_to(caps, (k, n))
+        w_b = np.broadcast_to(weights, (k, n))
+        levels = np.concatenate([f_b / w_b, c_b / w_b, m_floors / w_b, m_caps / w_b], axis=1)
+        consts = np.concatenate([-f_b, c_b, m_floors, -m_caps], axis=1)
+        slopes = np.concatenate([w_b, -w_b, -w_b, w_b], axis=1)
+        order = np.argsort(levels, axis=1, kind="stable")
+        self.levels = np.take_along_axis(levels, order, axis=1)
+        base = (f_b - m_floors).sum(axis=1)
+        self.consts = base[:, None] + np.cumsum(np.take_along_axis(consts, order, axis=1), axis=1)
+        self.slopes = np.cumsum(np.take_along_axis(slopes, order, axis=1), axis=1)
+        self.total_cap = (c_b - m_caps).sum(axis=1)
+        self.top_level = float((caps / weights).max(initial=0.0))
+        self.crosses = crosses
+        self.rhs = rhs
+
+    def max_levels(self) -> np.ndarray:
+        """Per-cut ``sup { lam >= 0 : H_k(lam) <= rhs_k }`` — the vectorized
+        twin of :meth:`_PiecewiseEvaluator.max_level` (same tolerance, same
+        degenerate/plateau handling)."""
+        k_cuts, n_events = self.levels.shape
+        tol = ABS_TOL * np.maximum(1.0, np.abs(self.rhs))
+        thr = self.rhs + tol
+        seg_start_vals = self.consts + self.slopes * self.levels
+        # rows are non-decreasing, so the count of starts <= thr is the
+        # searchsorted(side="right") index:
+        idx = (seg_start_vals <= thr[:, None]).sum(axis=1)
+        k = np.maximum(idx - 1, 0)
+        c = np.take_along_axis(self.consts, k[:, None], axis=1)[:, 0]
+        s = np.take_along_axis(self.slopes, k[:, None], axis=1)[:, 0]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            crossing = (self.rhs - c) / s
+        nxt = np.minimum(idx, n_events - 1)
+        plateau_end = np.take_along_axis(self.levels, nxt[:, None], axis=1)[:, 0]
+        per = np.where(s > 0.0, crossing, np.where(idx < n_events, plateau_end, np.inf))
+        per = np.where(idx == 0, 0.0, per)
+        return np.where(self.total_cap <= thr, np.inf, per)
+
+    def propose(self) -> tuple[float, np.ndarray]:
         """Largest lam satisfying all constraints, plus indices of binding ones."""
-        lam = np.inf
-        per = [f.max_level(r) for f, r in zip(self.fills, self.rhs)]
-        lam = min(per)
-        binding = [k for k, v in enumerate(per) if v <= lam * (1 + 1e-12) + ABS_TOL]
+        per = self.max_levels()
+        lam = float(per.min())
+        binding = np.nonzero(per <= lam * (1 + 1e-12) + ABS_TOL)[0]
         return lam, binding
 
 
-def _cut_rhs(cluster: Cluster, cut_jobs: np.ndarray, cut_sites: frozenset[int]) -> float:
-    """RHS of the cut constraint: source-side site capacity + crossing demand caps."""
-    caps = cluster.demand_caps
-    rhs = float(sum(cluster.capacities[j] for j in cut_sites))
-    sink_sites = np.array([j for j in range(cluster.n_sites) if j not in cut_sites], dtype=int)
-    if sink_sites.size and cut_jobs.size:
-        rhs += float(caps[np.ix_(cut_jobs, sink_sites)].sum())
-    return rhs
+def _site_cross(cluster: Cluster, sites: frozenset[int]) -> np.ndarray:
+    """Per-job crossing capacity out of site set ``sites`` (demand caps to the complement)."""
+    outside = np.ones(cluster.n_sites, dtype=bool)
+    outside[list(sites)] = False
+    return cluster.demand_caps[:, outside].sum(axis=1)
 
 
 def amf_levels(
     cluster: Cluster,
     floors: np.ndarray | None = None,
     diagnostics: AmfDiagnostics | None = None,
+    basis: CutBasis | None = None,
 ) -> np.ndarray:
     """Compute the AMF aggregate vector ``(A_1..A_n)`` for ``cluster``.
 
@@ -176,6 +363,12 @@ def amf_levels(
         jointly feasible; :class:`ValueError` is raised otherwise.
     diagnostics:
         Optional mutable instrumentation record.
+    basis:
+        Optional :class:`CutBasis` to warm-start from.  Its cuts are seeded
+        into the constraint pool before the first round, and every cut this
+        solve discovers is recorded back, so consecutive solves on similar
+        clusters converge with fewer max-flow feasibility checks.  Purely an
+        accelerator: the result is identical with or without it.
 
     Returns
     -------
@@ -215,11 +408,23 @@ def amf_levels(
     if not ok:
         raise ValueError("floors are infeasible for this cluster")
 
-    # Cut constraints are valid for the whole solve (their RHS depends only
-    # on the cluster), so the pool persists across rounds; only the
-    # piecewise LHS structure is rebuilt as jobs freeze.
-    all_jobs = np.arange(n)
-    known_cuts: list[tuple[np.ndarray, float]] = [(all_jobs, cluster.total_capacity)]
+    # Cut constraints are valid for the whole solve (their cross/RHS depend
+    # only on the cluster), so the pool persists across rounds; only the
+    # piecewise LHS structure is rebuilt as jobs freeze.  Each cut is a site
+    # set S enforced in its tightest (Gale–Hoffman) form — the seed S = all
+    # sites has zero crossing capacity, i.e. the plain total-capacity fill.
+    all_sites = frozenset(range(cluster.n_sites))
+    cut_crosses: list[np.ndarray] = [np.zeros(n)]
+    cut_rhs: list[float] = [cluster.total_capacity]
+    seen_sites = {all_sites}
+    if basis is not None:
+        for sites in basis.instantiate(cluster):
+            if sites in seen_sites:
+                continue
+            seen_sites.add(sites)
+            cut_crosses.append(_site_cross(cluster, sites))
+            cut_rhs.append(float(cluster.capacities[sorted(sites)].sum()))
+            diag.warm_cuts_seeded += 1
 
     lam_done = 0.0
     while not frozen.all():
@@ -227,28 +432,32 @@ def amf_levels(
         # Effective piecewise parameters: frozen jobs contribute constants.
         f_eff = np.where(frozen, levels, floors)
         c_eff = np.where(frozen, levels, caps)
-        pool = _Round()
-        for member, rhs in known_cuts:
-            pool.add(member, PiecewiseFill(f_eff[member], c_eff[member], weights[member]), rhs)
 
         guard = 0
         while True:
             guard += 1
             if guard > 10 * (n + cluster.n_sites) + 100:  # pragma: no cover
                 raise RuntimeError("AMF cutting-plane loop failed to converge (numeric breakdown)")
+            pool = _RoundPool(f_eff, c_eff, weights, np.stack(cut_crosses), np.array(cut_rhs))
             lam, binding = pool.propose()
-            lam_eval = min(lam, max(pool.fills[0].top_level, lam_done))
+            lam_eval = min(lam, max(pool.top_level, lam_done))
             lam_eval = max(lam_eval, lam_done)
             targets = targets_at(lam_eval)
             ok, cut_jobs, cut_sites = feasible(targets)
             if ok:
                 break
-            member = np.array(sorted(cut_jobs), dtype=int)
-            rhs = _cut_rhs(cluster, member, cut_sites)
-            require(member.size > 0, "infeasible cut without source-side jobs (numeric breakdown)")
-            pool.add(member, PiecewiseFill(f_eff[member], c_eff[member], weights[member]), rhs)
-            known_cuts.append((member, rhs))
+            require(len(cut_sites) > 0, "infeasible cut without source-side sites (numeric breakdown)")
+            sites = frozenset(int(j) for j in cut_sites)
+            # The pool already enforces every seen S at its tightest, so a
+            # violated min cut must expose a *new* site set; a repeat means
+            # the analytic LHS and the flow check disagree beyond tolerance.
+            require(sites not in seen_sites, "rediscovered site cut (numeric breakdown)")
+            seen_sites.add(sites)
+            cut_crosses.append(_site_cross(cluster, sites))
+            cut_rhs.append(float(cluster.capacities[sorted(sites)].sum()))
             diag.cuts_generated += 1
+            if basis is not None:
+                basis.record(frozenset(cluster.sites[j].name for j in sites))
 
         lam_star = lam_eval
         new_levels = targets_at(lam_star)
@@ -257,12 +466,13 @@ def amf_levels(
         cap_sat = (~frozen) & (new_levels >= caps - ABS_TOL * np.maximum(1.0, caps))
         to_freeze |= cap_sat
         diag.frozen_by_cap += int(cap_sat.sum())
-        # members of binding cuts
+        # members of binding cuts: a tight site cut pins exactly the jobs
+        # whose target meets or exceeds their crossing capacity (raising one
+        # would raise the cut LHS above cap(S)).
         if not np.isinf(lam):
             for k in binding:
-                mem = pool.members[k]
-                in_cut = np.zeros(n, dtype=bool)
-                in_cut[mem] = True
+                cross = pool.crosses[k]
+                in_cut = new_levels >= cross - ABS_TOL * np.maximum(1.0, cross)
                 cut_new = in_cut & ~frozen & ~to_freeze
                 diag.frozen_by_cut += int(cut_new.sum())
                 to_freeze |= in_cut & ~frozen
@@ -287,14 +497,16 @@ def solve_amf(
     cluster: Cluster,
     floors: np.ndarray | None = None,
     diagnostics: AmfDiagnostics | None = None,
+    basis: CutBasis | None = None,
 ) -> Allocation:
     """Compute an AMF allocation (aggregates via :func:`amf_levels`, split via max-flow).
 
     The returned split is *an* AMF allocation; the completion-time add-on
     (:func:`repro.core.completion.optimize_completion_times`) re-splits the
-    same aggregates to optimize job completion times.
+    same aggregates to optimize job completion times.  ``basis`` warm-starts
+    the cutting-plane pool across related solves (see :class:`CutBasis`).
     """
-    levels = amf_levels(cluster, floors=floors, diagnostics=diagnostics)
+    levels = amf_levels(cluster, floors=floors, diagnostics=diagnostics, basis=basis)
     matrix = _realize(cluster, levels)
     return Allocation(cluster, matrix, policy="amf" if floors is None else "amf+floors")
 

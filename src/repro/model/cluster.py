@@ -8,6 +8,7 @@ advice applied at the model boundary.
 
 from __future__ import annotations
 
+import hashlib
 from functools import cached_property
 from typing import Iterable, Sequence
 
@@ -138,6 +139,38 @@ class Cluster:
     @property
     def total_capacity(self) -> float:
         return float(self.capacities.sum())
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @cached_property
+    def _fingerprint(self) -> str:
+        h = hashlib.sha256()
+        for site in self._sites:
+            h.update(f"S|{site.name}|{site.capacity.hex()}\n".encode())
+        for job in self._jobs:
+            h.update(f"J|{job.name}|{job.weight.hex()}\n".encode())
+            for site, work in sorted(job.workload.items()):
+                h.update(f"w|{site}|{work.hex()}\n".encode())
+            for site, rate in sorted(job.demand.items()):
+                h.update(f"d|{site}|{rate.hex()}\n".encode())
+        return h.hexdigest()
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of everything that determines an allocation.
+
+        Covers site order/names/capacities and job order/names/weights/
+        workloads/demand caps — exactly the inputs every solver consumes.
+        Fields that never affect allocation (site tags, job arrival times)
+        are excluded, so a cluster rebuilt mid-simulation from the same
+        remaining work hashes identically.  Job/site *order* is included
+        because the allocation matrix layout depends on it.
+
+        The digest is the cache key of the online allocation service
+        (:mod:`repro.service`): equal fingerprints guarantee equal solver
+        inputs, so a cached allocation matrix can be replayed verbatim.
+        """
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Derived instances

@@ -1,0 +1,45 @@
+"""Online allocation service: incremental AMF behind a batched daemon.
+
+The offline library answers "what is the fair allocation of *this*
+cluster?"; this package answers it continuously while the cluster churns.
+See docs/service.md for the architecture and knobs.
+
+* :mod:`repro.service.state` — :class:`ClusterState` delta store + events.
+* :mod:`repro.service.solver` — warm-started incremental AMF.
+* :mod:`repro.service.batching` — event coalescing queue.
+* :mod:`repro.service.cache` — fingerprint-keyed allocation cache.
+* :mod:`repro.service.daemon` — :class:`AllocationService`, the composed pipeline.
+* :mod:`repro.service.http` — stdlib HTTP/JSON API (``repro.cli serve``).
+"""
+
+from repro.service.batching import BatchStats, CoalescingQueue
+from repro.service.cache import AllocationCache, CacheStats
+from repro.service.daemon import AllocationService, ServedAllocation
+from repro.service.solver import IncrementalAmfSolver, IncrementalStats
+from repro.service.state import (
+    CapacityChanged,
+    ClusterEvent,
+    ClusterState,
+    JobArrived,
+    JobDeparted,
+    StateError,
+    events_from_schedule,
+)
+
+__all__ = [
+    "AllocationCache",
+    "AllocationService",
+    "BatchStats",
+    "CacheStats",
+    "CapacityChanged",
+    "ClusterEvent",
+    "ClusterState",
+    "CoalescingQueue",
+    "IncrementalAmfSolver",
+    "IncrementalStats",
+    "JobArrived",
+    "JobDeparted",
+    "ServedAllocation",
+    "StateError",
+    "events_from_schedule",
+]

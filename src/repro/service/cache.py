@@ -1,0 +1,75 @@
+"""Allocation cache keyed by the canonical cluster fingerprint.
+
+Between deltas the service's cluster is *identical* — same fingerprint —
+so every read (``/allocate`` with nothing queued, ``/jobs``, observers
+polling) can be served from the last solve instead of re-running AMF.
+:meth:`Cluster.fingerprint` covers exactly the solver inputs, so a hit is
+a proof of equal inputs, and the cached *matrix* (not the Allocation
+object) is replayed: rebinding it to the caller's ``Cluster`` instance
+revalidates every invariant on the way out.
+
+Bounded LRU; entries from states the churn has left behind age out.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import require
+from repro.core.allocation import Allocation
+from repro.model.cluster import Cluster
+
+__all__ = ["CacheStats", "AllocationCache"]
+
+
+@dataclass(slots=True)
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class AllocationCache:
+    """LRU of ``fingerprint -> (matrix, policy)`` with hit/miss accounting."""
+
+    def __init__(self, max_entries: int = 128):
+        require(max_entries >= 1, "max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, tuple[np.ndarray, str]] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, cluster: Cluster) -> Allocation | None:
+        """Cached allocation for ``cluster``, rebound and revalidated, or ``None``."""
+        entry = self._entries.get(cluster.fingerprint())
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(cluster.fingerprint())
+        self.stats.hits += 1
+        matrix, policy = entry
+        return Allocation(cluster, matrix.copy(), policy=policy)
+
+    def put(self, cluster: Cluster, alloc: Allocation) -> None:
+        key = cluster.fingerprint()
+        self._entries[key] = (np.array(alloc.matrix, dtype=float, copy=True), alloc.policy)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

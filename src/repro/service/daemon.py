@@ -1,0 +1,223 @@
+"""The allocation daemon: state + batching + cache + resilient warm solver.
+
+:class:`AllocationService` is the synchronous core of the online service —
+everything the HTTP front-end (:mod:`repro.service.http`) does is a thin
+JSON wrapper over these methods, and the closed-loop benchmark drives the
+same object directly with a virtual clock.  One re-solve pipeline:
+
+1. deltas land in a :class:`~repro.service.batching.CoalescingQueue`;
+2. when the batch is due (or a caller demands freshness) it is applied to
+   the :class:`~repro.service.state.ClusterState` in one step;
+3. the resulting snapshot is looked up in the fingerprint-keyed
+   :class:`~repro.service.cache.AllocationCache`;
+4. on a miss, the :class:`~repro.core.policies.ResilientPolicy` chain
+   ``incremental AMF -> cold AMF -> psmf -> proportional`` solves it, the
+   warm solver reusing the previous solution's cut pool.
+
+All public methods are thread-safe (one reentrant lock around the whole
+pipeline): correctness first — the solver itself is the bottleneck, not
+the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro._util import require
+from repro.core.allocation import Allocation
+from repro.core.policies import PolicyFn, ResilienceStats, ResilientPolicy
+from repro.model.cluster import Cluster
+from repro.service.batching import CoalescingQueue
+from repro.service.cache import AllocationCache
+from repro.service.solver import IncrementalAmfSolver
+from repro.service.state import ClusterEvent, ClusterState
+from repro.sim.scheduler import SolveStats
+
+__all__ = ["ServedAllocation", "AllocationService"]
+
+
+class ServedAllocation:
+    """One answer from the service: the allocation plus how it was produced."""
+
+    __slots__ = ("allocation", "cached", "seconds", "version", "fingerprint")
+
+    def __init__(self, allocation: Allocation, *, cached: bool, seconds: float, version: int, fingerprint: str):
+        self.allocation = allocation
+        self.cached = cached
+        self.seconds = seconds  # solve wall time (0.0 on a cache hit)
+        self.version = version
+        self.fingerprint = fingerprint
+
+
+class AllocationService:
+    """Event-driven AMF allocation daemon (see module docstring).
+
+    Parameters
+    ----------
+    state:
+        The mutable cluster store (must contain the sites; jobs optional).
+    max_delay / max_batch:
+        Coalescing knobs — how long an event may wait, and how many may
+        fold into one re-solve.
+    cache_size:
+        LRU entries in the allocation cache.
+    max_cuts:
+        Persistent cutting-plane pool bound for the warm solver.
+    fallbacks:
+        The chain behind the incremental solver (default: cold AMF, then
+        per-site max-min; proportional is always the implicit last rung).
+    clock:
+        Injectable monotone clock (virtual time in tests/benchmarks).
+    """
+
+    def __init__(
+        self,
+        state: ClusterState,
+        *,
+        max_delay: float = 0.05,
+        max_batch: int = 256,
+        cache_size: int = 128,
+        max_cuts: int = 64,
+        fallbacks: Sequence[str | PolicyFn] = ("amf", "psmf"),
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        require(state.n_sites > 0, "service needs at least one site")
+        self.state = state
+        self.queue = CoalescingQueue(max_delay=max_delay, max_batch=max_batch, clock=clock)
+        self.cache = AllocationCache(max_entries=cache_size)
+        self.incremental = IncrementalAmfSolver(max_cuts=max_cuts)
+        self.resilience = ResilienceStats()
+        self.policy = ResilientPolicy(self.incremental, fallbacks, stats=self.resilience)
+        self.solve_stats = SolveStats()
+        self.rejections: list[str] = []  # bounded log of deltas the state refused
+        self.max_rejections = 200
+        self.events_accepted = 0
+        self._lock = threading.RLock()
+        self._started = time.time()
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+    def submit(self, event: ClusterEvent) -> int:
+        """Queue one delta; returns the number of pending events."""
+        with self._lock:
+            self.queue.push(event)
+            self.events_accepted += 1
+            return len(self.queue)
+
+    def submit_all(self, events: Sequence[ClusterEvent]) -> int:
+        with self._lock:
+            for event in events:
+                self.queue.push(event)
+            self.events_accepted += len(events)
+            return len(self.queue)
+
+    def flush(self, *, force: bool = False) -> int:
+        """Apply the pending batch if due (or ``force``); returns events applied."""
+        with self._lock:
+            if not (force or self.queue.due()):
+                return 0
+            batch = self.queue.drain()
+            if not batch:
+                return 0
+            applied, rejected = self.state.apply_all(batch)
+            for message in rejected:
+                if len(self.rejections) < self.max_rejections:
+                    self.rejections.append(message)
+            return applied
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self.queue)
+
+    def seconds_until_due(self) -> float | None:
+        with self._lock:
+            return self.queue.seconds_until_due()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def allocation(self, *, fresh: bool = True) -> ServedAllocation:
+        """Current allocation.
+
+        ``fresh=True`` (the ``/allocate`` semantics) forces any pending
+        deltas to apply first; ``fresh=False`` (passive reads) serves the
+        batch-delayed state, flushing only if the batch is already due.
+        """
+        with self._lock:
+            self.flush(force=fresh)
+            cluster = self.state.snapshot()
+            fp = cluster.fingerprint()
+            version = self.state.version
+            if cluster.n_jobs == 0:
+                empty = Allocation(cluster, np.zeros((0, cluster.n_sites)), policy="empty")
+                return ServedAllocation(empty, cached=True, seconds=0.0, version=version, fingerprint=fp)
+            hit = self.cache.get(cluster)
+            if hit is not None:
+                return ServedAllocation(hit, cached=True, seconds=0.0, version=version, fingerprint=fp)
+            t0 = time.perf_counter()
+            alloc = self.policy(cluster)
+            dt = time.perf_counter() - t0
+            self.solve_stats.record(dt, cluster.n_jobs)
+            self.cache.put(cluster, alloc)
+            return ServedAllocation(alloc, cached=False, seconds=dt, version=version, fingerprint=fp)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready counters for ``/stats`` and the benchmark report."""
+        with self._lock:
+            s = self.solve_stats
+            inc = self.incremental.stats
+            return {
+                "uptime_seconds": time.time() - self._started,
+                "state": {
+                    "version": self.state.version,
+                    "jobs": self.state.n_jobs,
+                    "sites": self.state.n_sites,
+                    "pending_events": len(self.queue),
+                    "events_accepted": self.events_accepted,
+                    "events_rejected": len(self.rejections),
+                },
+                "solver": {
+                    "solves": s.solves,
+                    "mean_ms": None if not s.solves else s.mean_ms,
+                    "p50_ms": None if not s.samples else s.percentile_ms(50),
+                    "p99_ms": None if not s.samples else s.percentile_ms(99),
+                    "max_ms": s.max_ms,
+                },
+                "incremental": {
+                    "solves": inc.solves,
+                    "failures": inc.failures,
+                    "rounds": inc.rounds,
+                    "feasibility_solves": inc.feasibility_solves,
+                    "cuts_generated": inc.cuts_generated,
+                    "warm_cuts_seeded": inc.warm_cuts_seeded,
+                    "basis_size": len(self.incremental.basis),
+                },
+                "cache": {
+                    "entries": len(self.cache),
+                    "hits": self.cache.stats.hits,
+                    "misses": self.cache.stats.misses,
+                    "hit_rate": self.cache.stats.hit_rate,
+                    "evictions": self.cache.stats.evictions,
+                },
+                "batching": {
+                    "batches": self.queue.stats.batches,
+                    "coalesced_events": self.queue.stats.events,
+                    "mean_batch": self.queue.stats.mean_batch,
+                    "max_batch": self.queue.stats.max_batch,
+                    "max_delay": self.queue.max_delay,
+                },
+                "resilience": {
+                    "solves": self.resilience.solves,
+                    "fallback_activations": self.resilience.fallback_activations,
+                    "served_by": dict(self.resilience.served_by),
+                    "errors": list(self.resilience.errors[-5:]),
+                },
+            }

@@ -1,0 +1,240 @@
+"""Stdlib HTTP/JSON front-end for the allocation daemon.
+
+No web framework — ``http.server.ThreadingHTTPServer`` plus ``json`` is
+all the service needs, which keeps the dependency footprint identical to
+the rest of the library.  Endpoints (all JSON):
+
+``GET /health``
+    Liveness: library version, state shape, pending events.
+``GET /stats``
+    Full counter dump (solver timings, cache, batching, resilience).
+``GET /jobs``
+    Jobs currently in the state with their aggregate allocations.
+``POST /jobs``
+    Body = one job object (``{"name", "workload", "demand"?, "weight"?}``)
+    or ``{"jobs": [...]}``.  Queues arrivals; returns pending count.
+``DELETE /jobs/<name>``
+    Queues a departure.
+``POST /capacity``
+    Body ``{"site": str, "capacity": float}``.  Queues a capacity change.
+``POST /allocate``
+    Optional body with ``"jobs"`` to queue first; forces the pending batch
+    to apply and returns the (possibly cached) allocation with solver
+    provenance.
+
+A daemon thread flushes the coalescing queue every ``max_delay``, so
+arrivals POSTed without a follow-up ``/allocate`` still land in the state.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.model.job import Job
+from repro.service.daemon import AllocationService
+from repro.service.state import CapacityChanged, JobArrived, JobDeparted, StateError
+
+__all__ = ["job_from_dict", "ServiceServer", "serve"]
+
+
+def job_from_dict(data: dict[str, Any]) -> Job:
+    """Build a :class:`Job` from the wire format (same field names as
+    :mod:`repro.model.serialize`)."""
+    if not isinstance(data, dict) or "name" not in data or "workload" not in data:
+        raise StateError("job object needs at least 'name' and 'workload'")
+    return Job(
+        str(data["name"]),
+        {str(k): float(v) for k, v in dict(data["workload"]).items()},
+        {str(k): float(v) for k, v in dict(data.get("demand", {})).items()},
+        weight=float(data.get("weight", 1.0)),
+        arrival=float(data.get("arrival", 0.0)),
+    )
+
+
+def _allocation_payload(served) -> dict[str, Any]:
+    alloc = served.allocation
+    cluster = alloc.cluster
+    return {
+        "policy": alloc.policy,
+        "cached": served.cached,
+        "solve_ms": 1e3 * served.seconds,
+        "version": served.version,
+        "fingerprint": served.fingerprint,
+        "jobs": {
+            job.name: {
+                "aggregate": float(alloc.aggregates[i]),
+                "shares": {
+                    site.name: float(alloc.matrix[i, j])
+                    for j, site in enumerate(cluster.sites)
+                    if alloc.matrix[i, j] > 0.0
+                },
+            }
+            for i, job in enumerate(cluster.jobs)
+        },
+        "site_usage": {s.name: float(u) for s, u in zip(cluster.sites, alloc.site_usage)},
+        "utilization": alloc.utilization if cluster.n_jobs else 0.0,
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-amf"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> AllocationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args) -> None:  # pragma: no cover - noise control
+        if not getattr(self.server, "quiet", False):
+            super().log_message(fmt, *args)
+
+    # -- plumbing ------------------------------------------------------
+    def _send(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        data = json.loads(raw.decode())
+        if not isinstance(data, dict):
+            raise StateError("request body must be a JSON object")
+        return data
+
+    def _fail(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/health":
+                import repro
+
+                stats = self.service.stats()
+                self._send(
+                    200,
+                    {
+                        "status": "ok",
+                        "version": repro.__version__,
+                        "jobs": stats["state"]["jobs"],
+                        "sites": stats["state"]["sites"],
+                        "pending_events": stats["state"]["pending_events"],
+                    },
+                )
+            elif self.path == "/stats":
+                self._send(200, self.service.stats())
+            elif self.path == "/jobs":
+                served = self.service.allocation(fresh=False)
+                self._send(200, _allocation_payload(served))
+            else:
+                self._fail(404, f"unknown path {self.path!r}")
+        except Exception as exc:  # noqa: BLE001 - surfaced to the client
+            self._fail(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            body = self._body()
+            if self.path == "/allocate":
+                queued = self._queue_jobs(body)
+                served = self.service.allocation(fresh=True)
+                payload = _allocation_payload(served)
+                payload["queued_jobs"] = queued
+                self._send(200, payload)
+            elif self.path == "/jobs":
+                queued = self._queue_jobs(body, require_jobs=True)
+                self._send(202, {"queued_jobs": queued, "pending_events": self.service.pending()})
+            elif self.path == "/capacity":
+                if "site" not in body or "capacity" not in body:
+                    raise StateError("body needs 'site' and 'capacity'")
+                pending = self.service.submit(CapacityChanged(str(body["site"]), float(body["capacity"])))
+                self._send(202, {"pending_events": pending})
+            else:
+                self._fail(404, f"unknown path {self.path!r}")
+        except (StateError, ValueError, json.JSONDecodeError) as exc:
+            self._fail(400, str(exc))
+        except Exception as exc:  # noqa: BLE001
+            self._fail(500, f"{type(exc).__name__}: {exc}")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        try:
+            prefix = "/jobs/"
+            if self.path.startswith(prefix) and len(self.path) > len(prefix):
+                pending = self.service.submit(JobDeparted(self.path[len(prefix):]))
+                self._send(202, {"pending_events": pending})
+            else:
+                self._fail(404, f"unknown path {self.path!r}")
+        except Exception as exc:  # noqa: BLE001
+            self._fail(500, f"{type(exc).__name__}: {exc}")
+
+    def _queue_jobs(self, body: dict[str, Any], *, require_jobs: bool = False) -> list[str]:
+        entries = body.get("jobs")
+        if entries is None:
+            entries = [body] if "name" in body else []
+        if require_jobs and not entries:
+            raise StateError("body needs a job object or a 'jobs' list")
+        jobs = [job_from_dict(entry) for entry in entries]
+        for job in jobs:
+            self.service.submit(JobArrived(job))
+        return [job.name for job in jobs]
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`AllocationService`.
+
+    Runs a background *flusher* thread so batches apply within
+    ``max_delay`` even when no request forces them.  Use as a context
+    manager or call :meth:`shutdown` (both stop the flusher).
+    """
+
+    daemon_threads = True
+
+    def __init__(self, service: AllocationService, host: str = "127.0.0.1", port: int = 0, *, quiet: bool = True):
+        super().__init__((host, port), _Handler)
+        self.service = service
+        self.quiet = quiet
+        self._stop = threading.Event()
+        self._flusher = threading.Thread(target=self._flush_loop, name="amf-flusher", daemon=True)
+        self._flusher.start()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def _flush_loop(self) -> None:
+        idle = max(0.01, self.service.queue.max_delay / 2) if self.service.queue.max_delay else 0.01
+        while not self._stop.is_set():
+            wait = self.service.seconds_until_due()
+            if wait is None:
+                self._stop.wait(idle)
+                continue
+            if wait > 0.0:
+                self._stop.wait(min(wait, idle))
+            self.service.flush()
+
+    def shutdown(self) -> None:  # pragma: no cover - exercised via context exit
+        self._stop.set()
+        super().shutdown()
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        super().__exit__(*exc_info)
+
+
+def serve(service: AllocationService, host: str = "127.0.0.1", port: int = 8080, *, quiet: bool = False) -> None:
+    """Blocking entry point used by ``python -m repro.cli serve``."""
+    with ServiceServer(service, host, port, quiet=quiet) as server:
+        print(f"repro-amf service listening on http://{host}:{server.port}")
+        print("endpoints: GET /health /stats /jobs | POST /allocate /jobs /capacity | DELETE /jobs/<name>")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            print("\nshutting down")

@@ -1,0 +1,85 @@
+"""Warm-started incremental AMF: the service's primary solver.
+
+A long-lived daemon re-solves AMF on clusters that differ from the previous
+one by a handful of deltas, so the bottleneck structure — which job sets
+hit which site sets — barely moves between solves.
+:class:`IncrementalAmfSolver` exploits that by threading a persistent
+:class:`~repro.core.amf.CutBasis` through every solve: cuts discovered once
+are replayed (revalidated against the current capacities) instead of
+rediscovered through extra max-flow feasibility probes.
+
+The solver is a plain ``Cluster -> Allocation`` callable, so it drops into
+:class:`~repro.core.policies.ResilientPolicy` as the primary of the chain
+
+    incremental AMF -> cold AMF -> per-site max-min -> proportional
+
+which is how the daemon wires it (:mod:`repro.service.daemon`): a failed
+warm solve *clears its basis* and degrades to a cold solve, preserving the
+degraded-mode guarantee of docs/robustness.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import Allocation
+from repro.core.amf import AmfDiagnostics, CutBasis, solve_amf
+from repro.model.cluster import Cluster
+
+__all__ = ["IncrementalStats", "IncrementalAmfSolver"]
+
+
+@dataclass(slots=True)
+class IncrementalStats:
+    """Accumulated warm-start effectiveness counters."""
+
+    solves: int = 0
+    failures: int = 0  # warm solves that raised (basis was reset)
+    feasibility_solves: int = 0
+    cuts_generated: int = 0  # cuts still discovered despite warm start
+    warm_cuts_seeded: int = 0  # cuts replayed from the basis
+    rounds: int = 0
+
+    def merge(self, diag: AmfDiagnostics) -> None:
+        self.feasibility_solves += diag.feasibility_solves
+        self.cuts_generated += diag.cuts_generated
+        self.warm_cuts_seeded += diag.warm_cuts_seeded
+        self.rounds += diag.rounds
+
+
+class IncrementalAmfSolver:
+    """AMF with a cutting-plane pool persisted across solves.
+
+    Parameters
+    ----------
+    max_cuts:
+        LRU bound on the persistent basis (see :class:`CutBasis`).
+    persistent:
+        ``False`` clears the basis before every solve, turning this into a
+        cold solver with the *identical* pipeline (validation, diagnostics,
+        allocation plumbing) — the control arm for warm-vs-cold A/B
+        measurements such as experiment X9.
+    """
+
+    def __init__(self, max_cuts: int = 64, *, persistent: bool = True):
+        self.basis = CutBasis(max_cuts=max_cuts)
+        self.persistent = persistent
+        self.stats = IncrementalStats()
+        self.__name__ = "amf-incremental" if persistent else "amf-cold"
+
+    def __call__(self, cluster: Cluster) -> Allocation:
+        if not self.persistent:
+            self.basis.clear()
+        diag = AmfDiagnostics()
+        self.stats.solves += 1
+        try:
+            alloc = solve_amf(cluster, diagnostics=diag, basis=self.basis)
+        except Exception:
+            # A numerically broken basis must not poison the next attempt;
+            # drop it and let the fallback chain take this solve cold.
+            self.basis.clear()
+            self.stats.failures += 1
+            self.stats.merge(diag)
+            raise
+        self.stats.merge(diag)
+        return alloc.with_matrix(alloc.matrix, policy=self.__name__)

@@ -46,6 +46,15 @@ class SolveStats:
             return np.nan
         return 1e3 * float(np.percentile(self.samples, q))
 
+    def record(self, seconds: float, n_jobs: int, *, keep_sample: bool = True) -> None:
+        """Fold one solve of ``seconds`` wall time over ``n_jobs`` jobs in."""
+        self.solves += 1
+        self.total_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+        self.total_jobs_seen += n_jobs
+        if keep_sample:
+            self.samples.append(seconds)
+
 
 class TimedPolicy:
     """Wrap a policy so every solve is timed.
@@ -72,11 +81,5 @@ class TimedPolicy:
         t0 = time.perf_counter()
         alloc = self._fn(cluster)
         dt = time.perf_counter() - t0
-        s = self.stats
-        s.solves += 1
-        s.total_seconds += dt
-        s.max_seconds = max(s.max_seconds, dt)
-        s.total_jobs_seen += cluster.n_jobs
-        if self._keep_samples:
-            s.samples.append(dt)
+        self.stats.record(dt, cluster.n_jobs, keep_sample=self._keep_samples)
         return alloc

@@ -1,4 +1,5 @@
-"""Poisson arrival processes for the dynamic load-sweep experiments (F7)."""
+"""Poisson arrival processes for the dynamic load-sweep experiments (F7)
+and the churn schedules that drive the online allocation service (X9)."""
 
 from __future__ import annotations
 
@@ -50,6 +51,41 @@ def generate_arrival_jobs(spec: ArrivalSpec, rng: np.random.Generator) -> tuple[
     times = times / times[-1] * horizon if times[-1] > 0 else times
     jobs = [replace_arrival(job, float(t)) for job, t in zip(base, times)]
     return sites, jobs
+
+
+def generate_churn_schedule(
+    spec: ArrivalSpec,
+    rng: np.random.Generator,
+    *,
+    target_population: int = 12,
+) -> tuple[list[Site], list[tuple[float, str, Job | str]]]:
+    """Arrival *and departure* events for an open-system churn stream.
+
+    Arrivals are the Poisson process of :func:`generate_arrival_jobs`; each
+    job then resides for an exponential sojourn whose mean is set by
+    Little's law so the time-average number of jobs in the system is about
+    ``target_population`` (``mean residence = target_population / lambda``).
+
+    Returns ``(sites, schedule)`` where the schedule is a time-sorted list
+    of plain ``(time, kind, payload)`` tuples — ``("arrive", Job)`` or
+    ``("depart", job_name)`` — deliberately free of service-layer types so
+    this module stays independent of :mod:`repro.service` (which adapts
+    them via ``events_from_schedule``).
+    """
+    require(target_population >= 1, "target_population must be at least 1")
+    sites, jobs = generate_arrival_jobs(spec, rng)
+    horizon = max(j.arrival for j in jobs) if jobs else 0.0
+    arrival_rate = len(jobs) / horizon if horizon > 0 else 1.0
+    mean_residence = target_population / arrival_rate
+    schedule: list[tuple[float, str, Job | str]] = []
+    for job in jobs:
+        schedule.append((job.arrival, "arrive", job))
+        departure = job.arrival + float(rng.exponential(mean_residence))
+        schedule.append((departure, "depart", job.name))
+    # Sort by time; at ties, arrivals first so a zero-residence job still
+    # arrives before its own departure.
+    schedule.sort(key=lambda e: (e[0], 0 if e[1] == "arrive" else 1))
+    return sites, schedule
 
 
 def replace_arrival(job: Job, arrival: float) -> Job:

@@ -24,7 +24,7 @@ class TestRegistry:
     def test_all_ids_present(self):
         assert set(EXPERIMENTS) == {
             "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8",
-            "T1", "T2", "T3", "T4", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8",
+            "T1", "T2", "T3", "T4", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9",
         }
 
 

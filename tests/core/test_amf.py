@@ -15,7 +15,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import properties
-from repro.core.amf import AmfDiagnostics, PiecewiseFill, amf_levels, amf_levels_bisect, solve_amf
+from repro.core.amf import (
+    AmfDiagnostics,
+    PiecewiseFill,
+    SiteCutFill,
+    amf_levels,
+    amf_levels_bisect,
+    solve_amf,
+)
 from repro.core.reference import reference_feasible, reference_levels
 from repro.model.cluster import Cluster
 
@@ -73,6 +80,81 @@ class TestPiecewiseFill:
                 lam = pf.max_level(rhs)
                 if np.isfinite(lam):
                     assert pf.value(lam) == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+class TestSiteCutFill:
+    """H(lam) = sum_i max(0, clip(lam*w_i, f_i, c_i) - x_i) — the site-cut LHS."""
+
+    @staticmethod
+    def direct(lam, f, c, w, x):
+        t = np.clip(lam * w, np.minimum(f, c), c)
+        return float(np.maximum(0.0, t - x).sum())
+
+    def test_zero_cross_degenerates_to_piecewise_fill(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            n = int(rng.integers(1, 7))
+            caps = rng.uniform(0.5, 5.0, n)
+            floors = caps * rng.uniform(0.0, 0.9, n)
+            w = rng.uniform(0.2, 3.0, n)
+            pf = PiecewiseFill(floors, caps, w)
+            sf = SiteCutFill(floors, caps, w, np.zeros(n))
+            for lam in rng.uniform(0.0, 8.0, 10):
+                assert sf.value(float(lam)) == pytest.approx(pf.value(float(lam)), abs=1e-9)
+            for rhs in rng.uniform(0.0, caps.sum() * 1.1, 5):
+                a, b = sf.max_level(float(rhs)), pf.max_level(float(rhs))
+                assert a == b or a == pytest.approx(b, rel=1e-9)
+
+    def test_value_matches_brute_force(self):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            n = int(rng.integers(1, 8))
+            w = rng.uniform(0.2, 3.0, n)
+            c = rng.uniform(0.5, 5.0, n)
+            f = np.where(rng.random(n) < 0.5, 0.0, rng.uniform(0.0, 1.0, n) * c)
+            x = np.where(rng.random(n) < 0.3, 0.0, rng.uniform(0.0, 6.0, n))
+            sf = SiteCutFill(f, c, w, x)
+            for lam in np.append(rng.uniform(0.0, 8.0, 15), 0.0):
+                assert sf.value(float(lam)) == pytest.approx(
+                    self.direct(lam, f, c, w, x), abs=1e-9
+                )
+
+    def test_max_level_is_the_crossing(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            n = int(rng.integers(1, 8))
+            w = rng.uniform(0.2, 3.0, n)
+            c = rng.uniform(0.5, 5.0, n)
+            f = np.zeros(n)
+            x = np.where(rng.random(n) < 0.3, 0.0, rng.uniform(0.0, 6.0, n))
+            sf = SiteCutFill(f, c, w, x)
+            for rhs in rng.uniform(0.0, sf.total_cap, 8):
+                rhs = float(rhs)
+                lam = sf.max_level(rhs)
+                if np.isinf(lam):
+                    assert sf.total_cap <= rhs + 1e-6
+                else:
+                    assert self.direct(lam, f, c, w, x) <= rhs + 1e-6
+                    assert self.direct(lam + 1e-5, f, c, w, x) >= rhs - 1e-6
+
+    def test_plateau_resolves_to_next_breakpoint(self):
+        # one job saturated exactly at its crossing capacity: H sits at rhs
+        # until a second job starts exceeding its own crossing.
+        sf = SiteCutFill(
+            np.array([1.0, 0.0]),  # job 0 frozen at 1.0
+            np.array([1.0, 4.0]),
+            np.ones(2),
+            np.array([0.0, 2.0]),
+        )
+        # H = 1.0 for lam <= 2, then 1.0 + (lam - 2)
+        assert sf.value(1.5) == pytest.approx(1.0)
+        assert sf.max_level(1.0) == pytest.approx(2.0)
+
+    def test_fully_crossing_job_contributes_nothing(self):
+        # x >= c: the job can always route around the cut
+        sf = SiteCutFill(np.zeros(1), np.array([2.0]), np.ones(1), np.array([5.0]))
+        assert sf.value(10.0) == 0.0
+        assert np.isinf(sf.max_level(0.0))
 
 
 class TestHandCases:

@@ -1,0 +1,79 @@
+"""Tests for Cluster.fingerprint() — the allocation cache key."""
+
+from repro.model.cluster import Cluster
+from repro.model.job import Job
+from repro.model.site import Site
+
+
+def build(capacity_a=2.0, work_x=1.0, demand_b=0.5, weight_y=1.0, arrival_x=0.0, tags=()):
+    sites = [Site("A", capacity_a, tags=tuple(tags)), Site("B", 3.0)]
+    jobs = [
+        Job("x", {"A": work_x}, weight=1.0, arrival=arrival_x),
+        Job("y", {"A": 1.0, "B": 4.0}, demand={"B": demand_b}, weight=weight_y),
+    ]
+    return Cluster(sites, jobs)
+
+
+class TestStability:
+    def test_deterministic_across_instances(self):
+        assert build().fingerprint() == build().fingerprint()
+
+    def test_repeated_calls_cached(self):
+        c = build()
+        assert c.fingerprint() is c.fingerprint()
+
+    def test_hex_digest_shape(self):
+        fp = build().fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)  # valid hex
+
+    def test_survives_matrix_round_trip(self):
+        c = build()
+        rebuilt = Cluster.from_matrices(
+            c.capacities,
+            c.workloads,
+            demand_caps=None,
+            weights=c.weights,
+            site_names=[s.name for s in c.sites],
+            job_names=[j.name for j in c.jobs],
+        )
+        # Same jobs/sites but demand caps dropped -> different instance.
+        assert rebuilt.fingerprint() != c.fingerprint()
+        uncapped = Cluster(c.sites, [Job("x", {"A": 1.0}), Job("y", {"A": 1.0, "B": 4.0})])
+        assert rebuilt.fingerprint() == uncapped.fingerprint()
+
+
+class TestPerturbationSensitivity:
+    def test_capacity_change(self):
+        assert build().fingerprint() != build(capacity_a=2.0000001).fingerprint()
+
+    def test_workload_change(self):
+        assert build().fingerprint() != build(work_x=1.0 + 1e-12).fingerprint()
+
+    def test_demand_cap_change(self):
+        assert build().fingerprint() != build(demand_b=0.6).fingerprint()
+
+    def test_weight_change(self):
+        assert build().fingerprint() != build(weight_y=2.0).fingerprint()
+
+    def test_job_rename(self):
+        base = build()
+        renamed = Cluster(base.sites, [Job("x2", {"A": 1.0}), base.jobs[1]])
+        assert base.fingerprint() != renamed.fingerprint()
+
+    def test_job_order_matters(self):
+        base = build()
+        swapped = Cluster(base.sites, (base.jobs[1], base.jobs[0]))
+        assert base.fingerprint() != swapped.fingerprint()
+
+    def test_job_removal(self):
+        base = build()
+        assert base.without_job("x").fingerprint() != base.fingerprint()
+
+
+class TestAllocationIrrelevantFields:
+    def test_arrival_ignored(self):
+        assert build().fingerprint() == build(arrival_x=7.5).fingerprint()
+
+    def test_site_tags_ignored(self):
+        assert build().fingerprint() == build(tags=("eu", "tier1")).fingerprint()

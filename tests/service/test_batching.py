@@ -1,0 +1,97 @@
+"""CoalescingQueue on a fully controlled virtual clock."""
+
+import pytest
+
+from repro.service.batching import CoalescingQueue
+from repro.service.state import JobDeparted
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_queue(**kwargs):
+    clock = FakeClock()
+    return CoalescingQueue(clock=clock, **kwargs), clock
+
+
+class TestDueness:
+    def test_empty_queue_never_due(self):
+        q, _ = make_queue(max_delay=0.1)
+        assert not q.due()
+        assert q.seconds_until_due() is None
+        assert q.drain() == []
+
+    def test_batch_due_after_max_delay(self):
+        q, clock = make_queue(max_delay=0.1)
+        q.push(JobDeparted("x"))
+        assert not q.due()
+        assert q.seconds_until_due() == pytest.approx(0.1)
+        clock.now = 0.09
+        assert not q.due()
+        clock.now = 0.1
+        assert q.due()
+        assert q.seconds_until_due() == 0.0
+
+    def test_age_measured_from_oldest_event(self):
+        q, clock = make_queue(max_delay=0.1)
+        q.push(JobDeparted("x"))
+        clock.now = 0.08
+        q.push(JobDeparted("y"))  # newer event does not reset the deadline
+        clock.now = 0.1
+        assert q.due()
+
+    def test_full_batch_due_immediately(self):
+        q, _ = make_queue(max_delay=1e9, max_batch=3)
+        for name in "abc":
+            q.push(JobDeparted(name))
+        assert q.due()
+        assert q.seconds_until_due() == 0.0
+
+    def test_zero_delay_means_every_event_due(self):
+        q, _ = make_queue(max_delay=0.0)
+        q.push(JobDeparted("x"))
+        assert q.due()
+
+
+class TestDrainAndStats:
+    def test_drain_takes_everything_and_resets(self):
+        q, clock = make_queue(max_delay=0.1)
+        q.push(JobDeparted("x"))
+        q.push(JobDeparted("y"))
+        batch = q.drain()
+        assert [e.name for e in batch] == ["x", "y"]
+        assert len(q) == 0 and not q.due()
+        # the next push starts a fresh delay window
+        clock.now = 5.0
+        q.push(JobDeparted("z"))
+        assert q.seconds_until_due() == pytest.approx(0.1)
+
+    def test_stats_accumulate(self):
+        q, _ = make_queue(max_delay=0.0)
+        for size in (2, 3):
+            for i in range(size):
+                q.push(JobDeparted(f"j{size}-{i}"))
+            q.drain()
+        assert q.stats.batches == 2
+        assert q.stats.events == 5
+        assert q.stats.max_batch == 3
+        assert q.stats.mean_batch == pytest.approx(2.5)
+        assert q.stats.sizes == [2, 3]
+
+    def test_empty_drain_not_counted(self):
+        q, _ = make_queue()
+        q.drain()
+        assert q.stats.batches == 0
+
+
+class TestValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            CoalescingQueue(max_delay=-1.0)
+        with pytest.raises(ValueError):
+            CoalescingQueue(max_batch=0)

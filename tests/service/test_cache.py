@@ -1,0 +1,96 @@
+"""AllocationCache: fingerprint keying, LRU bounds, revalidation on the way out."""
+
+import numpy as np
+import pytest
+
+from repro.core.amf import solve_amf
+from repro.model.cluster import Cluster
+from repro.model.job import Job
+from repro.model.site import Site
+from repro.service.cache import AllocationCache
+
+
+def cluster_with_capacity(cap_a: float) -> Cluster:
+    sites = [Site("a", cap_a), Site("b", 3.0)]
+    jobs = [Job("x", {"a": 1.0}), Job("y", {"a": 1.0, "b": 1.0})]
+    return Cluster(sites, jobs)
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self):
+        cache = AllocationCache()
+        c = cluster_with_capacity(2.0)
+        assert cache.get(c) is None
+        cache.put(c, solve_amf(c))
+        hit = cache.get(c)
+        assert hit is not None
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_equal_clusters_share_entries(self):
+        cache = AllocationCache()
+        cache.put(cluster_with_capacity(2.0), solve_amf(cluster_with_capacity(2.0)))
+        # a freshly built but identical cluster hits (fingerprint keying)
+        assert cache.get(cluster_with_capacity(2.0)) is not None
+
+    def test_different_clusters_do_not_collide(self):
+        cache = AllocationCache()
+        cache.put(cluster_with_capacity(2.0), solve_amf(cluster_with_capacity(2.0)))
+        assert cache.get(cluster_with_capacity(2.5)) is None
+
+    def test_hit_rebinds_to_callers_cluster(self):
+        cache = AllocationCache()
+        c1 = cluster_with_capacity(2.0)
+        cache.put(c1, solve_amf(c1))
+        c2 = cluster_with_capacity(2.0)
+        hit = cache.get(c2)
+        assert hit.cluster is c2
+        np.testing.assert_allclose(hit.aggregates, solve_amf(c2).aggregates)
+
+    def test_returned_matrix_is_a_copy(self):
+        cache = AllocationCache()
+        c = cluster_with_capacity(2.0)
+        stored = solve_amf(c)
+        cache.put(c, stored)
+        first = cache.get(c)
+        second = cache.get(c)
+        # Each hit materializes its own matrix: no aliasing between hits or
+        # with the stored entry, so a caller can never corrupt the cache.
+        assert not np.shares_memory(first.matrix, second.matrix)
+        assert not np.shares_memory(first.matrix, stored.matrix)
+        np.testing.assert_allclose(first.matrix, stored.matrix)
+
+
+class TestLru:
+    def test_eviction_order_and_counters(self):
+        cache = AllocationCache(max_entries=2)
+        caps = [2.0, 2.5, 3.5]
+        for cap in caps:
+            c = cluster_with_capacity(cap)
+            cache.put(c, solve_amf(c))
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.get(cluster_with_capacity(2.0)) is None  # oldest evicted
+        assert cache.get(cluster_with_capacity(3.5)) is not None
+
+    def test_get_refreshes_recency(self):
+        cache = AllocationCache(max_entries=2)
+        for cap in (2.0, 2.5):
+            c = cluster_with_capacity(cap)
+            cache.put(c, solve_amf(c))
+        cache.get(cluster_with_capacity(2.0))  # touch the older entry
+        c = cluster_with_capacity(3.5)
+        cache.put(c, solve_amf(c))  # evicts 2.5, not the touched 2.0
+        assert cache.get(cluster_with_capacity(2.0)) is not None
+        assert cache.get(cluster_with_capacity(2.5)) is None
+
+    def test_clear(self):
+        cache = AllocationCache()
+        c = cluster_with_capacity(2.0)
+        cache.put(c, solve_amf(c))
+        cache.clear()
+        assert len(cache) == 0 and cache.get(c) is None
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            AllocationCache(max_entries=0)

@@ -1,0 +1,148 @@
+"""AllocationService: the full pipeline on a virtual clock."""
+
+import numpy as np
+import pytest
+
+from repro.core.amf import solve_amf
+from repro.model.job import Job
+from repro.model.site import Site
+from repro.service.daemon import AllocationService
+from repro.service.state import CapacityChanged, ClusterState, JobArrived, JobDeparted
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_service(**kwargs):
+    clock = FakeClock()
+    state = ClusterState([Site("a", 2.0), Site("b", 3.0)])
+    service = AllocationService(state, clock=clock, **kwargs)
+    return service, clock
+
+
+class TestServing:
+    def test_empty_cluster_served_without_solving(self):
+        service, _ = make_service()
+        served = service.allocation()
+        assert served.allocation.policy == "empty"
+        assert served.cached and served.seconds == 0.0
+        assert service.solve_stats.solves == 0
+
+    def test_fresh_allocation_applies_pending_events(self):
+        service, _ = make_service(max_delay=1e9)  # batch never due by time
+        service.submit(JobArrived(Job("x", {"a": 1.0})))
+        service.submit(JobArrived(Job("y", {"b": 1.0})))
+        served = service.allocation(fresh=True)
+        assert not served.cached
+        assert served.allocation.policy == "amf-incremental"
+        names = [j.name for j in served.allocation.cluster.jobs]
+        agg = dict(zip(names, served.allocation.aggregates))
+        assert agg["x"] == pytest.approx(2.0)
+        assert agg["y"] == pytest.approx(3.0)
+
+    def test_passive_read_respects_batch_delay(self):
+        service, clock = make_service(max_delay=10.0)
+        service.submit(JobArrived(Job("x", {"a": 1.0})))
+        served = service.allocation(fresh=False)  # batch not due yet
+        assert served.allocation.cluster.n_jobs == 0
+        clock.now = 10.0
+        served = service.allocation(fresh=False)
+        assert served.allocation.cluster.n_jobs == 1
+
+    def test_repeat_reads_hit_the_cache(self):
+        service, _ = make_service()
+        service.submit(JobArrived(Job("x", {"a": 1.0})))
+        first = service.allocation()
+        second = service.allocation()
+        assert not first.cached and second.cached
+        assert second.fingerprint == first.fingerprint
+        assert service.solve_stats.solves == 1
+        np.testing.assert_allclose(second.allocation.matrix, first.allocation.matrix)
+
+    def test_matches_cold_solver(self):
+        service, _ = make_service()
+        jobs = [Job("x", {"a": 1.0}), Job("y", {"a": 1.0, "b": 1.0}), Job("z", {"b": 2.0})]
+        service.submit_all([JobArrived(j) for j in jobs])
+        served = service.allocation()
+        oracle = solve_amf(served.allocation.cluster)
+        np.testing.assert_allclose(served.allocation.aggregates, oracle.aggregates, atol=1e-8)
+
+    def test_departure_and_capacity_change_resolve(self):
+        service, _ = make_service()
+        service.submit_all([JobArrived(Job("x", {"a": 1.0})), JobArrived(Job("y", {"a": 1.0}))])
+        v1 = service.allocation().version
+        service.submit(JobDeparted("x"))
+        service.submit(CapacityChanged("a", 4.0))
+        served = service.allocation()
+        assert served.version > v1
+        assert [j.name for j in served.allocation.cluster.jobs] == ["y"]
+        assert served.allocation.aggregates[0] == pytest.approx(4.0)
+
+
+class TestPipelineAccounting:
+    def test_rejections_logged_not_fatal(self):
+        service, _ = make_service()
+        service.submit_all([JobArrived(Job("x", {"a": 1.0})), JobDeparted("ghost")])
+        served = service.allocation()
+        assert served.allocation.cluster.n_jobs == 1
+        assert len(service.rejections) == 1 and "ghost" in service.rejections[0]
+
+    def test_stats_shape(self):
+        service, _ = make_service()
+        service.submit(JobArrived(Job("x", {"a": 1.0})))
+        service.allocation()
+        service.allocation()
+        stats = service.stats()
+        assert set(stats) >= {"state", "solver", "incremental", "cache", "batching", "resilience"}
+        assert stats["state"]["jobs"] == 1
+        assert stats["solver"]["solves"] == 1
+        assert stats["incremental"]["solves"] == 1
+        assert stats["cache"]["hits"] == 1
+        assert stats["batching"]["batches"] == 1
+        assert stats["resilience"]["fallback_activations"] == 0
+        import json
+
+        json.dumps(stats)  # must be JSON-serializable for /stats
+
+    def test_warm_start_reuses_cuts_across_churn(self):
+        service, _ = make_service()
+        service.submit_all(
+            [JobArrived(Job(f"j{i}", {"a": 1.0, "b": 0.5}, demand={"b": 0.5})) for i in range(4)]
+        )
+        service.allocation()
+        cuts_before = service.incremental.stats.cuts_generated
+        # churn one job in and out; the bottleneck site set persists
+        service.submit(JobArrived(Job("late", {"a": 1.0})))
+        service.allocation()
+        service.submit(JobDeparted("late"))
+        service.allocation()
+        # The departure returns the cluster to an already-seen fingerprint,
+        # so the third read is a cache hit, not a solve.
+        assert service.incremental.stats.solves == 2
+        assert service.cache.stats.hits == 1
+        assert service.incremental.stats.cuts_generated <= cuts_before + 1
+        assert service.incremental.stats.warm_cuts_seeded > 0
+
+    def test_fallback_chain_engages_on_solver_failure(self):
+        service, _ = make_service()
+
+        def broken(cluster):
+            raise RuntimeError("boom")
+
+        broken.__name__ = "broken"
+        service.policy._chain[0] = ("broken", broken)  # simulate a dying primary
+        service.submit(JobArrived(Job("x", {"a": 1.0})))
+        served = service.allocation()
+        assert served.allocation.policy == "amf"
+        assert service.resilience.fallback_activations == 1
+
+
+class TestValidation:
+    def test_rejects_empty_state(self):
+        with pytest.raises(ValueError):
+            ClusterState([])

@@ -1,0 +1,147 @@
+"""HTTP front-end: real requests against an in-process ServiceServer."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.model.site import Site
+from repro.service.daemon import AllocationService
+from repro.service.http import ServiceServer, job_from_dict
+from repro.service.state import ClusterState, StateError
+
+
+@pytest.fixture
+def server():
+    state = ClusterState([Site("a", 2.0), Site("b", 3.0)])
+    service = AllocationService(state, max_delay=0.005)
+    srv = ServiceServer(service, port=0, quiet=True)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    thread.join(timeout=5)
+
+
+def call(srv, method: str, path: str, body: dict | None = None):
+    url = f"http://127.0.0.1:{srv.port}{path}"
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+class TestEndpoints:
+    def test_health(self, server):
+        status, payload = call(server, "GET", "/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["sites"] == 2 and payload["jobs"] == 0
+
+    def test_allocate_round_trip(self, server):
+        status, payload = call(
+            server,
+            "POST",
+            "/allocate",
+            {
+                "jobs": [
+                    {"name": "x", "workload": {"a": 1.0}},
+                    {"name": "y", "workload": {"b": 1.0}},
+                ]
+            },
+        )
+        assert status == 200
+        assert payload["queued_jobs"] == ["x", "y"]
+        assert payload["policy"] == "amf-incremental"
+        assert payload["jobs"]["x"]["aggregate"] == pytest.approx(2.0)
+        assert payload["jobs"]["y"]["aggregate"] == pytest.approx(3.0)
+        assert payload["jobs"]["x"]["shares"] == {"a": pytest.approx(2.0)}
+        # an immediate repeat is served from the cache
+        status, payload = call(server, "POST", "/allocate")
+        assert status == 200 and payload["cached"] is True
+
+    def test_jobs_get_reports_current_allocation(self, server):
+        call(server, "POST", "/allocate", {"name": "x", "workload": {"a": 1.0}})
+        status, payload = call(server, "GET", "/jobs")
+        assert status == 200
+        assert set(payload["jobs"]) == {"x"}
+
+    def test_post_jobs_queues_without_solving(self, server):
+        status, payload = call(server, "POST", "/jobs", {"name": "q", "workload": {"a": 1.0}})
+        assert status == 202
+        assert payload["queued_jobs"] == ["q"]
+
+    def test_delete_job(self, server):
+        call(server, "POST", "/allocate", {"name": "x", "workload": {"a": 1.0}})
+        status, _ = call(server, "DELETE", "/jobs/x")
+        assert status == 202
+        status, payload = call(server, "POST", "/allocate")
+        assert status == 200
+        assert payload["jobs"] == {}
+
+    def test_capacity_change(self, server):
+        call(server, "POST", "/allocate", {"name": "x", "workload": {"a": 1.0}})
+        status, _ = call(server, "POST", "/capacity", {"site": "a", "capacity": 4.0})
+        assert status == 202
+        status, payload = call(server, "POST", "/allocate")
+        assert payload["jobs"]["x"]["aggregate"] == pytest.approx(4.0)
+
+    def test_stats_counters_move(self, server):
+        call(server, "POST", "/allocate", {"name": "x", "workload": {"a": 1.0}})
+        call(server, "POST", "/allocate")
+        status, payload = call(server, "GET", "/stats")
+        assert status == 200
+        assert payload["solver"]["solves"] == 1
+        assert payload["cache"]["hits"] >= 1
+        assert payload["state"]["events_accepted"] == 1
+
+    def test_background_flusher_applies_batches(self, server):
+        call(server, "POST", "/jobs", {"name": "bg", "workload": {"a": 1.0}})
+        deadline = threading.Event()
+        for _ in range(200):  # max_delay is 5 ms; poll up to ~2 s
+            _, payload = call(server, "GET", "/health")
+            if payload["jobs"] == 1:
+                break
+            deadline.wait(0.01)
+        assert payload["jobs"] == 1
+
+
+class TestErrors:
+    def test_unknown_path_404(self, server):
+        status, payload = call(server, "GET", "/nope")
+        assert status == 404 and "error" in payload
+
+    def test_malformed_job_400(self, server):
+        status, payload = call(server, "POST", "/jobs", {"workload": {"a": 1.0}})
+        assert status == 400 and "error" in payload
+
+    def test_malformed_json_400(self, server):
+        url = f"http://127.0.0.1:{server.port}/jobs"
+        req = urllib.request.Request(url, data=b"{not json", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 400
+
+    def test_capacity_requires_fields(self, server):
+        status, _ = call(server, "POST", "/capacity", {"site": "a"})
+        assert status == 400
+
+
+class TestWireFormat:
+    def test_job_from_dict_full(self):
+        job = job_from_dict(
+            {"name": "j", "workload": {"a": 2}, "demand": {"a": 0.5}, "weight": 2.0, "arrival": 1.5}
+        )
+        assert job.name == "j" and job.workload == {"a": 2.0}
+        assert job.demand == {"a": 0.5} and job.weight == 2.0 and job.arrival == 1.5
+
+    def test_job_from_dict_requires_name_and_workload(self):
+        with pytest.raises(StateError):
+            job_from_dict({"name": "j"})
