@@ -11,12 +11,26 @@ from repro.core.amf import amf_levels
 from repro.core.persite import solve_psmf
 from repro.core.waterfilling import water_fill
 from repro.flownet.bipartite import build_network
+from repro.flownet.parametric import ParametricFeasibility
 from repro.workload.generator import WorkloadSpec, generate_cluster
 
 
 @pytest.fixture(scope="module")
 def medium_cluster():
     return generate_cluster(WorkloadSpec(n_jobs=100, n_sites=20, theta=1.2), np.random.default_rng(0))
+
+
+def _lambda_schedule(cluster, k=12):
+    """An AMF-like ascending-then-bisecting λ sequence for probe benches."""
+    hi = float(np.max(cluster.aggregate_demand / np.maximum(cluster.weights, 1e-12)))
+    rising = list(np.linspace(0.05, 0.6, k // 2))
+    lo, up = 0.0, hi
+    bisect = []
+    for _ in range(k - len(rising)):
+        mid = 0.5 * (lo + up)
+        bisect.append(mid)
+        up = mid  # descending, as when bisection keeps failing high
+    return [lam * hi for lam in rising] + bisect
 
 
 def test_bench_water_fill(benchmark):
@@ -46,3 +60,44 @@ def test_bench_psmf(benchmark, medium_cluster):
 def test_bench_amf_levels(benchmark, medium_cluster):
     levels = benchmark.pedantic(amf_levels, args=(medium_cluster,), iterations=1, rounds=3)
     assert levels.min() >= 0
+
+
+def test_bench_probe_sequence_legacy(benchmark, medium_cluster, record_bench):
+    """Cold path: one FeasibilityNetwork build + solve per λ probe."""
+    lams = _lambda_schedule(medium_cluster)
+    weights = medium_cluster.weights
+    caps = medium_cluster.aggregate_demand
+
+    def run():
+        verdicts = []
+        for lam in lams:
+            net = build_network(medium_cluster, np.minimum(lam * weights, caps))
+            verdicts.append(net.solve().feasible)
+        return verdicts
+
+    verdicts = benchmark(run)
+    assert len(verdicts) == len(lams)
+    record_bench("probe_sequence_legacy", benchmark)
+
+
+def test_bench_probe_sequence_parametric(benchmark, medium_cluster, record_bench):
+    """Warm path: one ParametricFeasibility oracle across the same λ probes.
+
+    Asserts verdict-for-verdict agreement with the cold path — the speedup
+    is only meaningful if the answers are the same.
+    """
+    lams = _lambda_schedule(medium_cluster)
+    weights = medium_cluster.weights
+    caps = medium_cluster.aggregate_demand
+    cold = []
+    for lam in lams:
+        net = build_network(medium_cluster, np.minimum(lam * weights, caps))
+        cold.append(net.solve().feasible)
+
+    def run():
+        oracle = ParametricFeasibility(medium_cluster)
+        return [oracle.probe(np.minimum(lam * weights, caps)).feasible for lam in lams]
+
+    verdicts = benchmark(run)
+    assert verdicts == cold
+    record_bench("probe_sequence_parametric", benchmark)

@@ -1,0 +1,287 @@
+"""Parametric-engine benchmark: warm λ-probes vs the cold legacy path.
+
+Standalone (no pytest) so CI and developers get one machine-readable
+artifact::
+
+    PYTHONPATH=src python benchmarks/bench_pr3.py --out BENCH_PR3.json
+
+Three stages, each an A/B on identical instances:
+
+* ``flow_probe`` — ``amf_levels`` + ``amf_levels_bisect`` with the
+  ``parametric`` oracle vs the ``legacy`` per-probe network rebuild, on the
+  F8 scalability sizes.  Levels are asserted equal; the headline number is
+  the probe-time speedup.
+* ``kernel`` — raw max-flow on the same bipartite instances:
+  :class:`ArrayFlowGraph` vs the pointer-based :class:`Dinic`.
+* ``service`` — the X9-style churn loop through
+  :class:`IncrementalAmfSolver` with each oracle; reports p50 solve time.
+
+``--baseline BENCH_PR3.json`` turns the run into a regression gate: the
+*dimensionless* warm/cold ratio of the flow_probe stage is compared against
+the baseline's ratio (machine-speed independent), and the process exits
+non-zero if it regressed by more than ``--max-regression``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.amf import AmfDiagnostics, amf_levels, amf_levels_bisect  # noqa: E402
+from repro.flownet.arrayflow import ArrayFlowGraph  # noqa: E402
+from repro.flownet.bipartite import build_network  # noqa: E402
+from repro.service.solver import IncrementalAmfSolver  # noqa: E402
+from repro.service.state import ClusterState  # noqa: E402
+from repro.workload.arrivals import ArrivalSpec, generate_churn_schedule  # noqa: E402
+from repro.workload.generator import WorkloadSpec, generate_cluster  # noqa: E402
+
+
+def _scaled(n: int, scale: float, minimum: int = 2) -> int:
+    return max(minimum, int(round(n * scale)))
+
+
+def stage_flow_probe(scale: float, repeats: int) -> dict:
+    """amf_levels + bisect: parametric vs legacy oracle on F8 sizes."""
+    sizes = [(_scaled(50, scale, 10), _scaled(10, scale, 3)),
+             (_scaled(100, scale, 10), _scaled(20, scale, 3)),
+             (_scaled(200, scale, 10), _scaled(20, scale, 3))]
+    rows = []
+    for n_jobs, n_sites in sizes:
+        cluster = generate_cluster(
+            WorkloadSpec(n_jobs=n_jobs, n_sites=n_sites, theta=1.2), np.random.default_rng(0)
+        )
+        timings = {"legacy": [], "parametric": []}
+        counters = {}
+        for oracle in ("legacy", "parametric"):
+            levels = None
+            for _ in range(repeats):
+                diag = AmfDiagnostics()
+                t0 = time.perf_counter()
+                levels = amf_levels(cluster, diagnostics=diag, oracle=oracle)
+                amf_levels_bisect(cluster, diagnostics=diag, oracle=oracle)
+                timings[oracle].append(time.perf_counter() - t0)
+            counters[oracle] = {
+                "feasibility_solves": diag.feasibility_solves,
+                "probes_warm": diag.probes_warm,
+                "probes_cold": diag.probes_cold,
+                "probes_early_accept": diag.probes_early_accept,
+                "probes_cut_reject": diag.probes_cut_reject,
+                "probes_reused": diag.probes_reused,
+            }
+            if oracle == "legacy":
+                ref_levels = levels
+            else:
+                np.testing.assert_allclose(levels, ref_levels, atol=1e-7, rtol=1e-7)
+        legacy_ms = 1e3 * min(timings["legacy"])
+        parametric_ms = 1e3 * min(timings["parametric"])
+        rows.append(
+            {
+                "n_jobs": n_jobs,
+                "n_sites": n_sites,
+                "legacy_ms": legacy_ms,
+                "parametric_ms": parametric_ms,
+                "speedup": legacy_ms / parametric_ms,
+                "counters": counters,
+            }
+        )
+    total_legacy = sum(r["legacy_ms"] for r in rows)
+    total_par = sum(r["parametric_ms"] for r in rows)
+    return {
+        "rows": rows,
+        "legacy_ms": total_legacy,
+        "parametric_ms": total_par,
+        "speedup": total_legacy / total_par,
+        "ratio": total_par / total_legacy,  # the machine-independent gate metric
+    }
+
+
+def stage_kernel(scale: float, repeats: int) -> dict:
+    """The λ-probe workload at the raw kernel level.
+
+    An ascending sequence of source-capacity vectors over one fixed
+    bipartite topology — ``ArrayFlowGraph`` applies the deltas with
+    :meth:`increase_capacity` and warm-continues, the legacy path does what
+    ``build_network`` did per probe: rebuild the pointer graph and solve
+    cold with :class:`Dinic`.  Values are asserted equal per step.  A
+    one-shot cold solve is reported alongside for honesty — on a single
+    cold solve the two engines are comparable (augmentation-order luck
+    decides); the warm sequence is where the array kernel earns its keep.
+    """
+    from repro.flownet.dinic import Dinic
+    from repro.flownet.graph import FlowGraph
+
+    n_jobs, n_sites = _scaled(300, scale, 20), _scaled(30, scale, 4)
+    cluster = generate_cluster(
+        WorkloadSpec(n_jobs=n_jobs, n_sites=n_sites, theta=1.2), np.random.default_rng(1)
+    )
+    demand = cluster.aggregate_demand
+    caps = cluster.demand_caps
+    src, snk = 0, n_jobs + n_sites + 1
+    tails, heads, capacities = [], [], []
+    for i in range(n_jobs):
+        tails.append(src), heads.append(1 + i), capacities.append(0.0)
+    for i in range(n_jobs):
+        for j in np.flatnonzero(caps[i] > 0):
+            tails.append(1 + i), heads.append(1 + n_jobs + int(j)), capacities.append(float(caps[i, j]))
+    for j in range(n_sites):
+        tails.append(1 + n_jobs + j), heads.append(snk), capacities.append(float(cluster.capacities[j]))
+
+    fractions = np.linspace(0.1, 0.9, 12)
+
+    def legacy_sequence() -> list[float]:
+        values = []
+        for frac in fractions:
+            g = FlowGraph()
+            for k, (t, h, c) in enumerate(zip(tails, heads, capacities)):
+                g.add_edge(t, h, c if k >= n_jobs else float(frac * demand[k]))
+            values.append(Dinic(g).max_flow(src, snk).value)
+        return values
+
+    def warm_sequence() -> list[float]:
+        ag = ArrayFlowGraph(snk + 1, tails, heads, capacities)
+        values, total = [], 0.0
+        prev = np.zeros(n_jobs)
+        for frac in fractions:
+            tgt = frac * demand
+            for i in range(n_jobs):
+                ag.increase_capacity(2 * i, float(tgt[i] - prev[i]))
+            prev = tgt
+            total += ag.max_flow(src, snk)
+            values.append(total)
+        return values
+
+    legacy_t, warm_t, cold_legacy_t, cold_array_t = [], [], [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        legacy_values = legacy_sequence()
+        legacy_t.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        warm_values = warm_sequence()
+        warm_t.append(time.perf_counter() - t0)
+
+        g = FlowGraph()
+        for k, (t, h, c) in enumerate(zip(tails, heads, capacities)):
+            g.add_edge(t, h, c if k >= n_jobs else float(0.5 * demand[k]))
+        t0 = time.perf_counter()
+        cold_legacy = Dinic(g).max_flow(src, snk).value
+        cold_legacy_t.append(time.perf_counter() - t0)
+        ag = ArrayFlowGraph(
+            snk + 1, tails, heads,
+            [c if k >= n_jobs else float(0.5 * demand[k]) for k, c in enumerate(capacities)],
+        )
+        t0 = time.perf_counter()
+        cold_array = ag.max_flow(src, snk)
+        cold_array_t.append(time.perf_counter() - t0)
+    np.testing.assert_allclose(warm_values, legacy_values, atol=1e-6, rtol=1e-9)
+    assert abs(cold_legacy - cold_array) < 1e-6 * max(1.0, cold_legacy)
+    legacy_ms, warm_ms = 1e3 * min(legacy_t), 1e3 * min(warm_t)
+    return {
+        "n_jobs": n_jobs,
+        "n_sites": n_sites,
+        "n_edges": len(tails),
+        "probes": len(fractions),
+        "legacy_ms": legacy_ms,
+        "parametric_ms": warm_ms,
+        "speedup": legacy_ms / warm_ms,
+        "cold_oneshot": {
+            "legacy_ms": 1e3 * min(cold_legacy_t),
+            "array_ms": 1e3 * min(cold_array_t),
+            "flow_value": cold_legacy,
+        },
+    }
+
+
+def stage_service(scale: float) -> dict:
+    """X9-style churn through IncrementalAmfSolver, p50 per oracle."""
+    n_arrivals = _scaled(150, scale, 10)
+    n_sites = _scaled(10, scale, 3)
+    rng = np.random.default_rng(2)
+    spec = ArrivalSpec(
+        workload=WorkloadSpec(n_jobs=n_arrivals, n_sites=n_sites, theta=1.2), load=0.8
+    )
+    sites, schedule = generate_churn_schedule(rng=rng, spec=spec, target_population=_scaled(40, scale, 6))
+
+    out = {}
+    for oracle in ("legacy", "parametric"):
+        state = ClusterState(sites)
+        solver = IncrementalAmfSolver(oracle=oracle)
+        samples = []
+        from repro.service import events_from_schedule
+
+        for event in events_from_schedule(schedule):
+            applied, _ = state.apply_all([event])
+            if not applied or state.n_jobs == 0:
+                continue
+            cluster = state.snapshot()
+            t0 = time.perf_counter()
+            solver(cluster)
+            samples.append(time.perf_counter() - t0)
+        out[oracle] = {
+            "solves": len(samples),
+            "p50_ms": 1e3 * statistics.median(samples),
+            "mean_ms": 1e3 * statistics.fmean(samples),
+            "feasibility_solves": solver.stats.feasibility_solves,
+            "probes_reused": solver.stats.probes_reused,
+        }
+    out["p50_speedup"] = out["legacy"]["p50_ms"] / out["parametric"]["p50_ms"]
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", type=float, default=1.0, help="instance size scale")
+    ap.add_argument("--repeats", type=int, default=3, help="timed repeats (min is reported)")
+    ap.add_argument("--out", default="BENCH_PR3.json", help="output JSON path")
+    ap.add_argument("--baseline", help="committed BENCH_PR3.json to gate against")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=1.5,
+        help="fail if the flow-probe warm/cold ratio exceeds baseline by this factor",
+    )
+    args = ap.parse_args(argv)
+
+    result = {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "stages": {
+            "flow_probe": stage_flow_probe(args.scale, args.repeats),
+            "kernel": stage_kernel(args.scale, args.repeats),
+            "service": stage_service(args.scale),
+        },
+    }
+    result["summary"] = {
+        "flow_probe_speedup": result["stages"]["flow_probe"]["speedup"],
+        "kernel_speedup": result["stages"]["kernel"]["speedup"],
+        "service_p50_speedup": result["stages"]["service"]["p50_speedup"],
+    }
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for stage, speedup in result["summary"].items():
+        print(f"  {stage}: {speedup:.2f}x")
+
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        base_ratio = baseline["stages"]["flow_probe"]["ratio"]
+        fresh_ratio = result["stages"]["flow_probe"]["ratio"]
+        limit = args.max_regression * base_ratio
+        print(
+            f"regression gate: warm/cold ratio {fresh_ratio:.3f} "
+            f"vs baseline {base_ratio:.3f} (limit {limit:.3f})"
+        )
+        if fresh_ratio > limit:
+            print("FAIL: flow-probe ratio regressed beyond the gate", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

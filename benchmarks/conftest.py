@@ -5,9 +5,72 @@ Every module regenerates one figure/table of the paper (DESIGN.md §4).
 scale and prints the regenerated series alongside the timing; the CLI
 (``python -m repro.cli experiment all``) runs the same experiments at full
 scale.  ``-s`` shows the printed tables.
+
+Two extras for the perf tooling (docs/performance.md):
+
+* ``--workers N`` routes every sweep grid inside the experiments through
+  the :mod:`repro.analysis.parallel` process pool.
+* ``REPRO_BENCH_JSON=<path>`` collects the timings that benches register
+  via the ``record_bench`` fixture into one machine-readable JSON file at
+  session end (the CI smoke job uploads it as an artifact).
 """
 
+import json
+import os
+from pathlib import Path
+
 import pytest
+
+_BENCH_RECORDS: list[dict] = []
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=0,
+        help="fan experiment sweep grids over N processes (0 = REPRO_WORKERS or serial)",
+    )
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _configure_workers(request):
+    workers = request.config.getoption("--workers")
+    if workers:
+        from repro.analysis.parallel import set_default_workers
+
+        set_default_workers(workers)
+        yield
+        set_default_workers(None)
+    else:
+        yield
+
+
+@pytest.fixture
+def record_bench():
+    """Register one benchmark's timing for the REPRO_BENCH_JSON export."""
+
+    def recorder(name: str, benchmark) -> None:
+        stats = getattr(benchmark, "stats", None)
+        stats = getattr(stats, "stats", stats)  # pytest-benchmark nests them
+        _BENCH_RECORDS.append(
+            {
+                "name": name,
+                "mean_s": getattr(stats, "mean", None),
+                "min_s": getattr(stats, "min", None),
+                "rounds": getattr(stats, "rounds", None),
+            }
+        )
+
+    return recorder
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out = os.environ.get("REPRO_BENCH_JSON", "").strip()
+    if not out or not _BENCH_RECORDS:
+        return
+    Path(out).write_text(json.dumps({"benches": _BENCH_RECORDS}, indent=2) + "\n")
 
 
 @pytest.fixture

@@ -6,5 +6,17 @@ Used by ``benchmarks/`` (one module per paper figure/table) and by the CLI
 
 from repro.analysis.tables import render_table, render_series, fmt
 from repro.analysis.sweep import SweepResult, replicate, sweep1d
+from repro.analysis.parallel import default_workers, grid_map, parallel_map, set_default_workers
 
-__all__ = ["render_table", "render_series", "fmt", "SweepResult", "replicate", "sweep1d"]
+__all__ = [
+    "render_table",
+    "render_series",
+    "fmt",
+    "SweepResult",
+    "replicate",
+    "sweep1d",
+    "default_workers",
+    "grid_map",
+    "parallel_map",
+    "set_default_workers",
+]

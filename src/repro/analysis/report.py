@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+from repro.analysis import parallel
 from repro.analysis.experiments import EXPERIMENTS, ExperimentOutput
 
 
@@ -62,16 +63,36 @@ class Report:
         return "\n".join(lines)
 
 
+def _run_one(eid: str, scale: float) -> tuple[str, float, str | None, str | None]:
+    """Run one experiment; returns ``(eid, seconds, text, error)``.
+
+    Only picklable primitives cross the process boundary in parallel mode —
+    the rich ``ExperimentOutput.data`` payload stays in the worker.
+    """
+    t0 = time.perf_counter()
+    try:
+        out = EXPERIMENTS[eid](scale=scale)
+        return eid, time.perf_counter() - t0, out.text, None
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        return eid, time.perf_counter() - t0, None, "".join(traceback.format_exception(exc))
+
+
 def generate_report(
     scale: float = 1.0,
     experiments: Sequence[str] | None = None,
     *,
     keep_going: bool = True,
+    workers: int | None = None,
 ) -> Report:
     """Run the selected experiments (default: all) and collect a report.
 
     With ``keep_going`` (default) a failing experiment is recorded and the
-    rest still run; otherwise the exception propagates.
+    rest still run; otherwise the exception propagates.  ``workers > 1``
+    fans the experiments over a process pool
+    (:mod:`repro.analysis.parallel`); sections keep the requested order and
+    identical text, but ``ReportSection.output.data`` is empty (rich
+    payloads do not cross the process boundary) and ``keep_going=False``
+    raises only after the whole batch finishes.
     """
     ids = list(EXPERIMENTS) if experiments is None else [e.upper() for e in experiments]
     unknown = [e for e in ids if e not in EXPERIMENTS]
@@ -79,23 +100,38 @@ def generate_report(
         raise KeyError(f"unknown experiments {unknown}; choices: {list(EXPERIMENTS)}")
     report = Report(scale=scale)
     t_start = time.perf_counter()
-    for eid in ids:
-        t0 = time.perf_counter()
-        try:
-            out = EXPERIMENTS[eid](scale=scale)
-            report.sections.append(ReportSection(eid, time.perf_counter() - t0, out))
-        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
-            if not keep_going:
-                raise
-            report.sections.append(
-                ReportSection(eid, time.perf_counter() - t0, None, error="".join(traceback.format_exception(exc)))
-            )
+    n_workers = parallel.default_workers() if workers is None else max(1, workers)
+    if n_workers > 1 and len(ids) > 1:
+        rows = parallel.parallel_map(lambda eid: _run_one(eid, scale), ids, workers=n_workers)
+        for eid, seconds, text, error in rows:
+            if error is not None and not keep_going:
+                raise RuntimeError(f"experiment {eid} failed:\n{error}")
+            out = None if text is None else ExperimentOutput(eid, text, {})
+            report.sections.append(ReportSection(eid, seconds, out, error=error))
+    else:
+        for eid in ids:
+            t0 = time.perf_counter()
+            try:
+                out = EXPERIMENTS[eid](scale=scale)
+                report.sections.append(ReportSection(eid, time.perf_counter() - t0, out))
+            except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+                if not keep_going:
+                    raise
+                report.sections.append(
+                    ReportSection(eid, time.perf_counter() - t0, None, error="".join(traceback.format_exception(exc)))
+                )
     report.total_seconds = time.perf_counter() - t_start
     return report
 
 
-def write_report(path: str | Path, scale: float = 1.0, experiments: Sequence[str] | None = None) -> Report:
+def write_report(
+    path: str | Path,
+    scale: float = 1.0,
+    experiments: Sequence[str] | None = None,
+    *,
+    workers: int | None = None,
+) -> Report:
     """Generate and write the markdown report; returns the Report object."""
-    report = generate_report(scale=scale, experiments=experiments)
+    report = generate_report(scale=scale, experiments=experiments, workers=workers)
     Path(path).write_text(report.to_markdown())
     return report

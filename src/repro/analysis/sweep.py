@@ -12,6 +12,8 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.analysis.parallel import grid_map
+
 
 @dataclass(slots=True)
 class SweepResult:
@@ -47,16 +49,23 @@ def sweep1d(
     x_values: Sequence,
     fn: Callable[[object, np.random.Generator], Mapping[str, float]],
     seeds: Sequence[int] = (0, 1, 2),
+    workers: int | None = None,
 ) -> SweepResult:
     """Evaluate ``fn(x, rng)`` for every ``x`` and seed; aggregate per metric.
 
     ``fn`` returns a flat ``{metric: value}`` mapping; metrics must be the
     same for every point.  Non-finite samples are dropped per-metric (a
     starved static completion time should not wipe out the mean).
+
+    ``workers`` fans the ``(x, seed)`` grid over a process pool
+    (:mod:`repro.analysis.parallel`); every task owns its seed's generator,
+    so the result is identical for any worker count.  ``None`` defers to
+    :func:`~repro.analysis.parallel.default_workers` (serial unless the
+    caller or ``REPRO_WORKERS`` opted in).
     """
     result = SweepResult(x_label, list(x_values))
-    for x in x_values:
-        rows = [fn(x, np.random.default_rng(seed)) for seed in seeds]
+    grid = grid_map(fn, x_values, seeds, workers=workers)
+    for rows in grid:
         for key in rows[0]:
             samples = np.asarray([r[key] for r in rows], dtype=float)
             finite = samples[np.isfinite(samples)]

@@ -53,6 +53,12 @@ def _spec(args) -> WorkloadSpec:
 
 
 def cmd_experiment(args) -> int:
+    if args.workers:
+        from repro.analysis.parallel import set_default_workers
+
+        # Experiments take no workers argument; raising the process-wide
+        # default routes their internal sweep1d grids through the pool.
+        set_default_workers(args.workers)
     if args.list:
         for eid, fn in EXPERIMENTS.items():
             doc = (fn.__doc__ or "").strip().splitlines()[0]
@@ -223,7 +229,7 @@ def cmd_serve(args) -> int:
 def cmd_report(args) -> int:
     from repro.analysis.report import write_report
 
-    report = write_report(args.out, scale=args.scale, experiments=args.only or None)
+    report = write_report(args.out, scale=args.scale, experiments=args.only or None, workers=args.workers or None)
     failed = [s.experiment for s in report.sections if s.error is not None]
     print(f"wrote {args.out}: {len(report.sections)} experiments in {report.total_seconds:.1f}s")
     if failed:
@@ -240,6 +246,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("ids", nargs="*", default=[], help="experiment ids (F1..F8, T1..T3, X1..X2) or 'all'")
     p_exp.add_argument("--scale", type=float, default=1.0, help="size scale (use <1 for a quick run)")
     p_exp.add_argument("--list", action="store_true", help="list experiments and exit")
+    p_exp.add_argument(
+        "--workers", type=int, default=0, help="fan sweep grids over N processes (0 = REPRO_WORKERS or serial)"
+    )
     p_exp.set_defaults(fn=cmd_experiment)
 
     p_solve = sub.add_parser("solve", help="solve one generated instance")
@@ -304,6 +313,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--out", default="report.md", help="output path")
     p_rep.add_argument("--scale", type=float, default=1.0, help="experiment size scale")
     p_rep.add_argument("--only", nargs="*", default=[], help="restrict to these experiment ids")
+    p_rep.add_argument(
+        "--workers", type=int, default=0, help="run experiments in N parallel processes (0 = REPRO_WORKERS or serial)"
+    )
     p_rep.set_defaults(fn=cmd_report)
     return parser
 

@@ -44,6 +44,7 @@ import numpy as np
 from repro._util import ABS_TOL, feq, require
 from repro.core.allocation import Allocation, scrub_matrix
 from repro.flownet.bipartite import build_network
+from repro.flownet.parametric import ParametricFeasibility
 from repro.model.cluster import Cluster
 
 __all__ = [
@@ -59,7 +60,13 @@ __all__ = [
 
 @dataclass(slots=True)
 class AmfDiagnostics:
-    """Solver instrumentation (reported by the scalability benchmark F8)."""
+    """Solver instrumentation (reported by the scalability benchmark F8).
+
+    ``feasibility_solves`` counts every probe the solver *asked*;
+    the ``probes_*`` fields break down how the parametric oracle *answered*
+    them (all zero on the legacy backend), so warm-reuse is observable all
+    the way up to the service ``/stats`` endpoint.
+    """
 
     rounds: int = 0
     feasibility_solves: int = 0
@@ -67,6 +74,17 @@ class AmfDiagnostics:
     frozen_by_cap: int = 0
     frozen_by_cut: int = 0
     warm_cuts_seeded: int = 0  # valid cuts replayed from a CutBasis
+    probes_early_accept: int = 0  # probes answered by feasible-dominance
+    probes_cut_reject: int = 0  # probes answered by a stored site cut
+    probes_warm: int = 0  # flow solves continuing from existing flow
+    probes_cold: int = 0  # flow solves starting from zero flow
+    probe_rollbacks: int = 0  # probes that cancelled flow before solving
+    jobs_folded: int = 0  # degree-1 jobs folded out of the flow network
+
+    @property
+    def probes_reused(self) -> int:
+        """Probes that avoided a cold flow solve (the warm-reuse headline)."""
+        return self.probes_early_accept + self.probes_cut_reject + self.probes_warm
 
 
 class CutBasis:
@@ -346,11 +364,90 @@ def _site_cross(cluster: Cluster, sites: frozenset[int]) -> np.ndarray:
     return cluster.demand_caps[:, outside].sum(axis=1)
 
 
+class _FeasibilityAdapter:
+    """The shared probe state of :func:`amf_levels` and
+    :func:`amf_levels_bisect`: the λ→targets map plus the feasibility oracle
+    behind one interface (both solver variants used to carry near-identical
+    ``targets_at`` / ``feasible`` closures).
+
+    ``backend`` selects the warm :class:`ParametricFeasibility` engine
+    (``"parametric"``, the default) or the original cold-restart
+    :class:`~repro.flownet.bipartite.FeasibilityNetwork` (``"legacy"``,
+    kept as the control arm for benchmarks and A/B tests).
+    """
+
+    __slots__ = ("cluster", "floors", "caps", "weights", "levels", "frozen", "diag", "oracle", "network")
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        floors: np.ndarray,
+        caps: np.ndarray,
+        diag: AmfDiagnostics,
+        *,
+        basis: CutBasis | None = None,
+        backend: str = "parametric",
+    ):
+        require(backend in ("parametric", "legacy"), f"unknown feasibility backend {backend!r}")
+        self.cluster = cluster
+        self.floors = floors
+        self.caps = caps
+        self.weights = cluster.weights
+        self.levels = floors.copy()  # frozen jobs keep their entry; active entries are provisional
+        self.frozen = np.zeros(cluster.n_jobs, dtype=bool)
+        self.diag = diag
+        if backend == "parametric":
+            cut_sets = basis.instantiate(cluster) if basis is not None else ()
+            self.oracle: ParametricFeasibility | None = ParametricFeasibility(cluster, cut_sets)
+            self.network = None
+        else:
+            self.oracle = None
+            self.network = build_network(cluster)
+
+    def targets_at(self, lam: float) -> np.ndarray:
+        t = np.clip(lam * self.weights, self.floors, self.caps)
+        t[self.frozen] = self.levels[self.frozen]
+        return t
+
+    def feasible(
+        self, targets: np.ndarray, *, need_cut: bool = False
+    ) -> tuple[bool, frozenset[int], frozenset[int]]:
+        """One feasibility probe.  ``need_cut`` forces an infeasible verdict
+        to carry a genuinely new min cut (see :meth:`ParametricFeasibility.probe`)."""
+        self.diag.feasibility_solves += 1
+        if self.oracle is not None:
+            out = self.oracle.probe(targets, need_cut=need_cut)
+            return out.feasible, out.cut_jobs, out.cut_sites
+        self.network.set_targets(targets)
+        outcome = self.network.solve()
+        return outcome.feasible, outcome.cut_jobs, outcome.cut_sites
+
+    def finish(self) -> None:
+        """Fold the oracle's reuse counters into the diagnostics record."""
+        if self.oracle is None:
+            return
+        st = self.oracle.stats
+        self.diag.probes_early_accept += st.early_accepts
+        self.diag.probes_cut_reject += st.cut_rejects
+        self.diag.probes_warm += st.warm_solves
+        self.diag.probes_cold += st.cold_solves
+        self.diag.probe_rollbacks += st.rollbacks
+        self.diag.jobs_folded += st.folded_jobs
+
+    def realize(self, levels: np.ndarray) -> np.ndarray | None:
+        """The flow already carried by the oracle as a ``(n, m)`` split, when
+        it matches ``levels`` — saves :func:`solve_amf` a cold re-solve."""
+        if self.oracle is None:
+            return None
+        return self.oracle.allocation_matrix(levels)
+
+
 def amf_levels(
     cluster: Cluster,
     floors: np.ndarray | None = None,
     diagnostics: AmfDiagnostics | None = None,
     basis: CutBasis | None = None,
+    oracle: str = "parametric",
 ) -> np.ndarray:
     """Compute the AMF aggregate vector ``(A_1..A_n)`` for ``cluster``.
 
@@ -369,16 +466,34 @@ def amf_levels(
         solve discovers is recorded back, so consecutive solves on similar
         clusters converge with fewer max-flow feasibility checks.  Purely an
         accelerator: the result is identical with or without it.
+    oracle:
+        Feasibility backend: ``"parametric"`` (default; warm-started probes
+        on one residual graph, see :mod:`repro.flownet.parametric`) or
+        ``"legacy"`` (cold-restart :class:`FeasibilityNetwork`).  Both return
+        identical verdicts; the choice only affects speed.
 
     Returns
     -------
     ``(n,)`` aggregates of the (weighted, floor-respecting) max-min fair
     allocation.  Use :func:`solve_amf` for a realized job-site matrix.
     """
-    n = cluster.n_jobs
     diag = diagnostics if diagnostics is not None else AmfDiagnostics()
+    levels, _ = _fill_levels(cluster, floors, diag, basis, oracle)
+    return levels
+
+
+def _fill_levels(
+    cluster: Cluster,
+    floors: np.ndarray | None,
+    diag: AmfDiagnostics,
+    basis: CutBasis | None,
+    backend: str,
+) -> tuple[np.ndarray, _FeasibilityAdapter | None]:
+    """Progressive filling; returns the levels plus the (warm) adapter so
+    :func:`solve_amf` can realize the matrix from the oracle's final flow."""
+    n = cluster.n_jobs
     if n == 0:
-        return np.zeros(0)
+        return np.zeros(0), None
     caps = cluster.aggregate_demand.copy()
     weights = cluster.weights
     if floors is None:
@@ -389,23 +504,15 @@ def amf_levels(
         require(float(floors.min(initial=0.0)) >= -ABS_TOL, "floors must be non-negative")
         floors = np.maximum(floors, 0.0)
 
-    network = build_network(cluster)
-    levels = floors.copy()  # frozen jobs keep their entry; active entries are provisional
-    frozen = np.zeros(n, dtype=bool)
-
-    def targets_at(lam: float) -> np.ndarray:
-        t = np.clip(lam * weights, floors, caps)
-        t[frozen] = levels[frozen]
-        return t
-
-    def feasible(targets: np.ndarray) -> tuple[bool, frozenset[int], frozenset[int]]:
-        diag.feasibility_solves += 1
-        network.set_targets(targets)
-        outcome = network.solve()
-        return outcome.feasible, outcome.cut_jobs, outcome.cut_sites
+    adapter = _FeasibilityAdapter(cluster, floors, caps, diag, basis=basis, backend=backend)
+    targets_at = adapter.targets_at
+    feasible = adapter.feasible
+    levels = adapter.levels
+    frozen = adapter.frozen
 
     ok, _, _ = feasible(targets_at(0.0))
     if not ok:
+        adapter.finish()
         raise ValueError("floors are infeasible for this cluster")
 
     # Cut constraints are valid for the whole solve (their cross/RHS depend
@@ -443,7 +550,9 @@ def amf_levels(
             lam_eval = min(lam, max(pool.top_level, lam_done))
             lam_eval = max(lam_eval, lam_done)
             targets = targets_at(lam_eval)
-            ok, cut_jobs, cut_sites = feasible(targets)
+            # need_cut: an infeasible proposal must yield a *new* site set
+            # (the pool already enforces every seen one analytically).
+            ok, cut_jobs, cut_sites = feasible(targets, need_cut=True)
             if ok:
                 break
             require(len(cut_sites) > 0, "infeasible cut without source-side sites (numeric breakdown)")
@@ -490,7 +599,8 @@ def amf_levels(
     ok, _, _ = feasible(levels)
     if not ok:  # pragma: no cover - guarded by construction
         raise RuntimeError("AMF solver produced infeasible levels")
-    return levels
+    adapter.finish()
+    return levels, adapter
 
 
 def solve_amf(
@@ -498,16 +608,28 @@ def solve_amf(
     floors: np.ndarray | None = None,
     diagnostics: AmfDiagnostics | None = None,
     basis: CutBasis | None = None,
+    oracle: str = "parametric",
 ) -> Allocation:
     """Compute an AMF allocation (aggregates via :func:`amf_levels`, split via max-flow).
 
     The returned split is *an* AMF allocation; the completion-time add-on
     (:func:`repro.core.completion.optimize_completion_times`) re-splits the
     same aggregates to optimize job completion times.  ``basis`` warm-starts
-    the cutting-plane pool across related solves (see :class:`CutBasis`).
+    the cutting-plane pool across related solves (see :class:`CutBasis`);
+    ``oracle`` selects the feasibility backend (see :func:`amf_levels`).
+
+    With the parametric oracle the realization is usually free: the final
+    verification probe leaves the oracle's residual graph carrying a max
+    flow at exactly ``levels``, so the matrix is read off that flow instead
+    of re-solving a fresh network.
     """
-    levels = amf_levels(cluster, floors=floors, diagnostics=diagnostics, basis=basis)
-    matrix = _realize(cluster, levels)
+    diag = diagnostics if diagnostics is not None else AmfDiagnostics()
+    levels, adapter = _fill_levels(cluster, floors, diag, basis, oracle)
+    matrix = adapter.realize(levels) if adapter is not None else None
+    if matrix is not None:
+        matrix = _finalize_matrix(cluster, levels, matrix)
+    else:
+        matrix = _realize(cluster, levels)
     return Allocation(cluster, matrix, policy="amf" if floors is None else "amf+floors")
 
 
@@ -516,10 +638,13 @@ def _realize(cluster: Cluster, levels: np.ndarray) -> np.ndarray:
     network = build_network(cluster, levels)
     outcome = network.solve()
     require(outcome.feasible, "levels are not feasible on this cluster")
-    matrix = network.allocation_matrix()
-    # Rescale rows so each sums to its level exactly, then scrub the
-    # rescaling residue (a row scaled up by the flow-tolerance deficit can
-    # overshoot a demand cap by the same hair).
+    return _finalize_matrix(cluster, levels, network.allocation_matrix())
+
+
+def _finalize_matrix(cluster: Cluster, levels: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Rescale rows so each sums to its level exactly, then scrub the
+    rescaling residue (a row scaled up by the flow-tolerance deficit can
+    overshoot a demand cap by the same hair)."""
     sums = matrix.sum(axis=1)
     for i in range(cluster.n_jobs):
         if sums[i] > 0.0 and not feq(sums[i], levels[i]):
@@ -531,13 +656,17 @@ def amf_levels_bisect(
     cluster: Cluster,
     tol: float = 1e-9,
     diagnostics: AmfDiagnostics | None = None,
+    oracle: str = "parametric",
 ) -> np.ndarray:
     """Ablation variant: progressive filling with pure binary search.
 
     Identical freezing rule, but each round's level is located by bisection
     to ``tol`` instead of the exact cutting-plane proposal.  Kept for the F8
     ablation ("bottleneck snapping vs binary search") and as an extra
-    cross-check in tests.
+    cross-check in tests.  Shares the λ→targets/probe machinery with
+    :func:`amf_levels` via :class:`_FeasibilityAdapter`; bisection is the
+    workload the parametric oracle accelerates hardest (descending probes
+    are answered by rollback or stored-cut screening instead of a rebuild).
     """
     n = cluster.n_jobs
     diag = diagnostics if diagnostics is not None else AmfDiagnostics()
@@ -545,20 +674,14 @@ def amf_levels_bisect(
         return np.zeros(0)
     caps = cluster.aggregate_demand.copy()
     weights = cluster.weights
-    network = build_network(cluster)
-    levels = np.zeros(n)
-    frozen = np.zeros(n, dtype=bool)
+    adapter = _FeasibilityAdapter(cluster, np.zeros(n), caps, diag, backend=oracle)
+    targets_at = adapter.targets_at
+    levels = adapter.levels
+    frozen = adapter.frozen
 
-    def targets_at(lam: float) -> np.ndarray:
-        t = np.minimum(lam * weights, caps)
-        t[frozen] = levels[frozen]
-        return t
-
-    def feasible(targets: np.ndarray) -> tuple[bool, frozenset[int]]:
-        diag.feasibility_solves += 1
-        network.set_targets(targets)
-        outcome = network.solve()
-        return outcome.feasible, outcome.cut_jobs
+    def feasible(targets: np.ndarray, *, need_cut: bool = False) -> tuple[bool, frozenset[int]]:
+        ok, cut_jobs, _ = adapter.feasible(targets, need_cut=need_cut)
+        return ok, cut_jobs
 
     lam_lo = 0.0
     while not frozen.all():
@@ -576,7 +699,9 @@ def amf_levels_bisect(
                 lo = mid
             else:
                 hi = mid
-        _, cut_jobs = feasible(targets_at(hi))
+        # the cut that pins this round's bottleneck must come from a real
+        # flow solve (screening replays would not name the minimal cut)
+        _, cut_jobs = feasible(targets_at(hi), need_cut=True)
         member = np.array(sorted(cut_jobs), dtype=int)
         freeze = np.zeros(n, dtype=bool)
         freeze[member] = True
@@ -588,4 +713,5 @@ def amf_levels_bisect(
         levels[freeze] = new[freeze]
         frozen |= freeze
         lam_lo = lo
+    adapter.finish()
     return levels

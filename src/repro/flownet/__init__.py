@@ -14,6 +14,8 @@ from repro.flownet.graph import FlowGraph
 from repro.flownet.dinic import Dinic, MaxFlowResult
 from repro.flownet.mincut import min_cut_partition
 from repro.flownet.lower_bounds import BoundedEdge, feasible_flow_with_lower_bounds
+from repro.flownet.arrayflow import ArrayFlowGraph
+from repro.flownet.parametric import ParametricFeasibility, ProbeOutcome, ProbeStats
 
 __all__ = [
     "FlowGraph",
@@ -22,4 +24,8 @@ __all__ = [
     "min_cut_partition",
     "BoundedEdge",
     "feasible_flow_with_lower_bounds",
+    "ArrayFlowGraph",
+    "ParametricFeasibility",
+    "ProbeOutcome",
+    "ProbeStats",
 ]

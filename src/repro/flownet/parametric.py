@@ -1,0 +1,454 @@
+"""Warm-started parametric feasibility: one residual graph, many λ-probes.
+
+One AMF solve asks the same question dozens of times — "are the aggregate
+targets ``A(λ)`` feasible?" — for a λ sequence that mostly rises
+(progressive filling) and occasionally falls (bisection, guard-loop
+retries).  :class:`ParametricFeasibility` answers that sequence on a single
+:class:`~repro.flownet.arrayflow.ArrayFlowGraph` kept alive across probes:
+
+* **λ rises** — only the source-arc capacities grow, so the existing flow
+  stays feasible and max-flow *continues* from it
+  (Gallo–Grigoriadis–Tarjan-style monotone reuse) instead of restarting
+  from zero.
+* **λ falls** — the excess flow above the new targets is cancelled locally
+  (walk each shrunk source arc's flow back along its job→site edges),
+  then the solve continues warm; no rebuild, no reset.
+
+Two structure-exploiting screens run before the flow network is touched:
+
+* **Dominance early-accept** — targets elementwise below the last verified
+  feasible vector are feasible by downward closure of the region.
+* **Gale–Hoffman cut screening** — stored site cuts (seeded from a
+  :class:`~repro.core.amf.CutBasis` and grown from this solve's own min
+  cuts) reject infeasible targets analytically: for a site set ``S``,
+  ``sum_i max(0, A_i - cross_i(S)) > cap(S)`` certifies infeasibility.
+
+A third preprocessing pass **folds degree-1 jobs** out of the network: a
+job supported by a single site must route its whole target through it, so
+it becomes a capacity subtraction on that site's sink arc instead of a
+node.  Min cuts of the reduced graph map back exactly (the source side of
+the minimal min cut is flow-invariant), so verdicts *and* cuts match the
+cold path.
+
+Verdicts are identical to a cold :class:`~repro.flownet.bipartite
+.FeasibilityNetwork` solve — same tolerance, same minimal min cut — which
+the hypothesis suite checks probe-by-probe (tests/flownet/test_parametric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro._util import ABS_TOL, REL_TOL, feq
+from repro.flownet.arrayflow import ArrayFlowGraph
+from repro.model.cluster import Cluster
+
+__all__ = ["ParametricFeasibility", "ProbeOutcome", "ProbeStats"]
+
+
+@dataclass(slots=True)
+class ProbeStats:
+    """How the oracle answered its probes (reuse observability)."""
+
+    probes: int = 0
+    early_accepts: int = 0  # answered by the last-feasible dominance check
+    cut_rejects: int = 0  # answered analytically by a stored site cut
+    warm_solves: int = 0  # flow solves continuing from existing flow
+    cold_solves: int = 0  # flow solves starting from zero flow
+    rollbacks: int = 0  # probes that cancelled excess flow before solving
+    folded_jobs: int = 0  # degree-1 jobs folded into site capacity
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeOutcome:
+    """One feasibility verdict; mirrors ``FeasibilityOutcome`` plus ``mode``.
+
+    ``cut_jobs`` / ``cut_sites`` are the job / site indices on the source
+    side of the minimal min cut (mapped back through the degree-1 folding),
+    or an analytically violated stored cut when ``mode == "cut-reject"``.
+    """
+
+    feasible: bool
+    flow_value: float
+    demanded: float
+    cut_jobs: frozenset[int]
+    cut_sites: frozenset[int]
+    mode: str  # "early-accept" | "cut-reject" | "flow-warm" | "flow-cold"
+
+
+class ParametricFeasibility:
+    """Feasibility oracle bound to one cluster, warm across target probes.
+
+    Parameters
+    ----------
+    cluster:
+        The instance; topology and demand caps are fixed for the oracle's
+        lifetime (targets are the only moving part).
+    cut_sets:
+        Site-index sets seeded into the screening pool, typically
+        ``CutBasis.instantiate(cluster)`` from the incremental solver.
+    fold_single_site:
+        Fold degree-1 jobs into their site's sink-arc capacity.
+    screen_cuts:
+        Answer probes from stored Gale–Hoffman cuts when possible.  Probes
+        with ``need_cut=True`` always bypass the screen so callers get a
+        genuinely *new* min cut (the AMF cutting-plane loop requires it).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        cut_sets: Iterable[frozenset[int]] = (),
+        *,
+        fold_single_site: bool = True,
+        screen_cuts: bool = True,
+    ):
+        self.cluster = cluster
+        self.stats = ProbeStats()
+        n, m = cluster.n_jobs, cluster.n_sites
+        self._n, self._m = n, m
+        self._scale = max(1.0, float(n + m))
+        self._capacities = cluster.capacities
+        support = cluster.support
+        dcaps = cluster.demand_caps
+
+        degree = support.sum(axis=1)
+        folded = (degree == 1) if fold_single_site else np.zeros(n, dtype=bool)
+        self._folded_idx = np.flatnonzero(folded)
+        self._multi_idx = np.flatnonzero(~folded)
+        if self._folded_idx.size:
+            self._folded_site = support[self._folded_idx].argmax(axis=1).astype(np.int64)
+            self._folded_cap = dcaps[self._folded_idx, self._folded_site]
+        else:
+            self._folded_site = np.zeros(0, dtype=np.int64)
+            self._folded_cap = np.zeros(0)
+        self.stats.folded_jobs = int(self._folded_idx.size)
+
+        # Reduced network: src=0, multi jobs 1..K, sites K+1..K+m, snk last.
+        # Edge order fixes the ids: K source arcs, then support arcs, then m
+        # sink arcs (forward id of the k-th edge is 2k).
+        k_multi = int(self._multi_idx.size)
+        self._src = 0
+        self._site0 = k_multi + 1
+        self._snk = k_multi + m + 1
+        tails: list[int] = []
+        heads: list[int] = []
+        caps_e: list[float] = []
+        for k in range(k_multi):
+            tails.append(self._src)
+            heads.append(1 + k)
+            caps_e.append(0.0)
+        sup_eids: list[int] = []
+        sup_job: list[int] = []
+        sup_site: list[int] = []
+        self._job_edges: list[list[tuple[int, int]]] = [[] for _ in range(k_multi)]
+        self._site_edges: list[list[tuple[int, int]]] = [[] for _ in range(m)]
+        eid = 2 * k_multi
+        for k, i in enumerate(self._multi_idx):
+            for j in np.flatnonzero(support[i]):
+                j = int(j)
+                tails.append(1 + k)
+                heads.append(self._site0 + j)
+                caps_e.append(float(dcaps[i, j]))
+                sup_eids.append(eid)
+                sup_job.append(int(i))
+                sup_site.append(j)
+                self._job_edges[k].append((eid, j))
+                self._site_edges[j].append((eid, k))
+                eid += 2
+        self._site_eids = np.arange(m, dtype=np.int64) * 2 + eid
+        for j in range(m):
+            tails.append(self._site0 + j)
+            heads.append(self._snk)
+            caps_e.append(0.0)
+        self._graph = ArrayFlowGraph(self._snk + 1, tails, heads, caps_e)
+        self._source_eids = np.arange(k_multi, dtype=np.int64) * 2
+        self._source_eids_list = self._source_eids.tolist()
+        self._site_eids_list = self._site_eids.tolist()
+        self._sup_eids = np.asarray(sup_eids, dtype=np.int64)
+        self._sup_job = np.asarray(sup_job, dtype=np.int64)
+        self._sup_site = np.asarray(sup_site, dtype=np.int64)
+
+        # Screening pool (Gale–Hoffman site cuts over the *full* job set).
+        self._screen = bool(screen_cuts)
+        self._cut_sets: set[frozenset[int]] = set()
+        self._cut_sites_list: list[frozenset[int]] = []
+        self._cut_crosses: list[np.ndarray] = []
+        self._cut_rhs: list[float] = []
+        self._cut_mat: np.ndarray | None = None
+        self._cut_rhs_arr: np.ndarray | None = None
+        for sites in cut_sets:
+            self.observe_cut(sites)
+
+        self._last_feasible: np.ndarray | None = None
+        self._flow_targets: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Screening cuts
+    # ------------------------------------------------------------------
+    def observe_cut(self, sites: Iterable[int]) -> None:
+        """Add one site set to the screening pool (idempotent)."""
+        key = frozenset(int(j) for j in sites)
+        if not key or key in self._cut_sets:
+            return
+        self._cut_sets.add(key)
+        outside = np.ones(self._m, dtype=bool)
+        outside[list(key)] = False
+        self._cut_sites_list.append(key)
+        self._cut_crosses.append(self.cluster.demand_caps[:, outside].sum(axis=1))
+        self._cut_rhs.append(float(self.cluster.capacities[sorted(key)].sum()))
+        self._cut_mat = None  # invalidate the stacked cache
+
+    def _screen_reject(self, targets: np.ndarray, demanded: float) -> ProbeOutcome | None:
+        """An analytically violated stored cut, or ``None``.
+
+        The violation margin is required to clear the flow tolerance with
+        headroom, so the screen never rejects a vector the flow check would
+        (within tolerance) accept — it is a pure shortcut, not a relaxation.
+        """
+        if not self._cut_rhs:
+            return None
+        if self._cut_mat is None:
+            self._cut_mat = np.stack(self._cut_crosses)
+            self._cut_rhs_arr = np.asarray(self._cut_rhs)
+        lhs = np.maximum(targets[None, :] - self._cut_mat, 0.0).sum(axis=1)
+        # A violated cut bounds the max flow: shortfall >= excess.  feq calls
+        # the probe infeasible once the shortfall clears
+        # ``scale * max(ABS_TOL, REL_TOL * demanded)`` (delivered <= demanded),
+        # so requiring twice that margin guarantees the flow check would agree.
+        slack = 2.0 * self._scale * max(ABS_TOL, REL_TOL * abs(demanded))
+        excess = lhs - self._cut_rhs_arr
+        k = int(np.argmax(excess))
+        if excess[k] <= slack:
+            return None
+        cross = self._cut_mat[k]
+        jobs = frozenset(int(i) for i in np.flatnonzero(targets > cross + ABS_TOL))
+        return ProbeOutcome(
+            feasible=False,
+            flow_value=demanded - float(excess[k]),  # certified upper bound
+            demanded=demanded,
+            cut_jobs=jobs,
+            cut_sites=self._cut_sites_list[k],
+            mode="cut-reject",
+        )
+
+    # ------------------------------------------------------------------
+    # Flow-state maintenance
+    # ------------------------------------------------------------------
+    def _cancel_at_site(self, j: int, excess: float) -> None:
+        """Cancel ``excess`` flow through site ``j`` (walks incoming arcs)."""
+        cap = self._graph.cap
+        te = self._site_eids_list[j]
+        for eid, k in self._site_edges[j]:
+            if excess <= 1e-15:
+                return
+            f = cap[eid + 1]
+            if f <= 0.0:
+                continue
+            r = min(f, excess)
+            cap[eid] += r
+            cap[eid + 1] -= r
+            se = self._source_eids_list[k]
+            cap[se] += r
+            cap[se + 1] -= r
+            cap[te] += r
+            cap[te + 1] -= r
+            excess -= r
+
+    def _cancel_at_job(self, k: int, excess: float) -> None:
+        """Cancel ``excess`` flow leaving multi-job ``k`` (walks its arcs)."""
+        cap = self._graph.cap
+        se = self._source_eids_list[k]
+        for eid, j in self._job_edges[k]:
+            if excess <= 1e-15:
+                return
+            f = cap[eid + 1]
+            if f <= 0.0:
+                continue
+            r = min(f, excess)
+            cap[eid] += r
+            cap[eid + 1] -= r
+            te = self._site_eids_list[j]
+            cap[te] += r
+            cap[te + 1] -= r
+            cap[se] += r
+            cap[se + 1] -= r
+            excess -= r
+
+    def _install(self, t_multi: np.ndarray, spare: np.ndarray) -> bool:
+        """Install per-probe capacities, keeping all still-valid flow.
+
+        Decreases cancel just the excess flow locally (the rollback arm of
+        the parametric reuse); increases only add residual.  Returns whether
+        any flow had to be rolled back.
+        """
+        g = self._graph
+        cap = g.cap
+        src_tw = self._source_eids + 1
+        site_tw = self._site_eids + 1
+        rolled = False
+        site_flow = cap[site_tw]
+        for j in np.flatnonzero(site_flow > spare + 1e-15):
+            self._cancel_at_site(int(j), float(site_flow[j] - spare[j]))
+            rolled = True
+        src_flow = cap[src_tw]
+        for k in np.flatnonzero(src_flow > t_multi + 1e-15):
+            self._cancel_at_job(int(k), float(src_flow[k] - t_multi[k]))
+            rolled = True
+        src_flow = np.minimum(cap[src_tw], t_multi)
+        g.orig[self._source_eids] = t_multi
+        cap[self._source_eids] = t_multi - src_flow
+        cap[src_tw] = src_flow
+        site_flow = np.minimum(cap[site_tw], spare)
+        g.orig[self._site_eids] = spare
+        cap[self._site_eids] = spare - site_flow
+        cap[site_tw] = site_flow
+        return rolled
+
+    def _map_cut(
+        self,
+        reach: np.ndarray,
+        t_eff: np.ndarray,
+        capped: np.ndarray,
+        overloaded: np.ndarray,
+    ) -> tuple[frozenset[int], frozenset[int]]:
+        """Min-cut source side of the reduced graph, mapped to full indices.
+
+        A site overloaded by folded demand alone is source-side in the
+        unreduced graph (some folded job keeps residual source capacity and
+        an unsaturated edge into it), as is every folded job with a positive
+        effective target at a source-side site — via the site's reverse arc
+        when fully delivered, via its own source arc otherwise.  A *capped*
+        folded job (target above its only demand cap) is source-side
+        unconditionally, but its saturated edge exposes no site.
+        """
+        site0 = self._site0
+        site_in = reach[site0 : site0 + self._m] | overloaded
+        cut_sites = frozenset(int(j) for j in np.flatnonzero(site_in))
+        jobs = {int(i) for i in self._multi_idx[reach[1 : 1 + self._multi_idx.size]]}
+        if self._folded_idx.size:
+            hit = capped | (site_in[self._folded_site] & (t_eff > ABS_TOL))
+            jobs.update(int(i) for i in self._folded_idx[hit])
+        return frozenset(jobs), cut_sites
+
+    # ------------------------------------------------------------------
+    # The probe
+    # ------------------------------------------------------------------
+    def probe(self, targets: np.ndarray, *, need_cut: bool = False) -> ProbeOutcome:
+        """Feasibility verdict for one aggregate target vector.
+
+        ``need_cut=True`` guarantees an infeasible verdict carries the
+        *minimal* min cut from an actual flow solve (never a replayed
+        screening cut) — required by the cutting-plane loop, which must see
+        each site set at most once.
+        """
+        targets = np.asarray(targets, dtype=float)
+        st = self.stats
+        st.probes += 1
+        demanded = float(targets.sum())
+
+        # Exact elementwise dominance only: the feasible region is downward
+        # closed, so ``targets <= last_feasible`` is a proof.  No tolerance
+        # slack — bisection probes sit ~1e-9 apart, and a fuzzy accept here
+        # would flip verdicts the flow check (feq) decides the other way.
+        if self._last_feasible is not None:
+            if targets.shape == self._last_feasible.shape and bool(
+                (targets <= self._last_feasible).all()
+            ):
+                st.early_accepts += 1
+                return ProbeOutcome(True, demanded, demanded, frozenset(), frozenset(), "early-accept")
+
+        if self._screen and not need_cut:
+            rejected = self._screen_reject(targets, demanded)
+            if rejected is not None:
+                st.cut_rejects += 1
+                return rejected
+
+        delivered, t_eff, load, capped, overloaded, warm = self._flow_solve(targets)
+        feasible = feq(delivered, demanded, scale=self._scale)
+        if feasible and not need_cut:
+            # A feasible probe's cut is the (near-empty) residual reach set;
+            # no caller consumes it, so skip the reachability sweep.
+            cut_jobs, cut_sites = frozenset(), frozenset()
+        else:
+            cut_jobs, cut_sites = self._map_cut(
+                self._graph.reachable_from(self._src), t_eff, capped, overloaded
+            )
+        if feasible:
+            self._last_feasible = targets.copy()
+        elif cut_sites:
+            self.observe_cut(cut_sites)  # future descending probes screen on it
+        return ProbeOutcome(
+            feasible, delivered, demanded, cut_jobs, cut_sites, "flow-warm" if warm else "flow-cold"
+        )
+
+    def _flow_solve(self, targets: np.ndarray):
+        """Install ``targets`` (warm) and run max flow; the graph is left
+        holding a maximum flow for exactly this vector (``_flow_targets``).
+        """
+        st = self.stats
+        g = self._graph
+        t_multi = targets[self._multi_idx]
+        # Folded jobs deliver at most min(target, demand cap) through their
+        # single site; the remainder is undeliverable regardless of flow.
+        t_fold = targets[self._folded_idx]
+        t_eff = np.minimum(t_fold, self._folded_cap)
+        capped = t_fold > self._folded_cap + ABS_TOL * np.maximum(1.0, self._folded_cap)
+        if self._folded_idx.size:
+            load = np.bincount(self._folded_site, weights=t_eff, minlength=self._m)
+        else:
+            load = np.zeros(self._m)
+        spare = np.maximum(self._capacities - load, 0.0)
+        overloaded = load > self._capacities + ABS_TOL * np.maximum(1.0, self._capacities)
+
+        warm = bool((g.cap[self._source_eids + 1] > 0.0).any())
+        if self._install(t_multi, spare):
+            st.rollbacks += 1
+        # The flow can never exceed the source arcs' forward residual;
+        # reaching that bound proves optimality without the final BFS.
+        limit = float(g.cap[self._source_eids].sum())
+        g.max_flow(self._src, self._snk, limit=limit)
+        if warm:
+            st.warm_solves += 1
+        else:
+            st.cold_solves += 1
+        self._flow_targets = targets.copy()
+
+        folded_delivered = float(np.minimum(load, self._capacities).sum())
+        delivered = float(g.flows(self._source_eids).sum()) + folded_delivered
+        return delivered, t_eff, load, capped, overloaded, warm
+
+    # ------------------------------------------------------------------
+    # Realization
+    # ------------------------------------------------------------------
+    def allocation_matrix(self, targets: np.ndarray) -> np.ndarray | None:
+        """The ``(n, m)`` split of a max flow at ``targets``, or ``None``.
+
+        If the residual graph is not already holding a flow for exactly
+        ``targets`` (a later infeasible probe may have moved it), one warm
+        re-solve restores it — still far cheaper than a cold realization.
+        Returns ``None`` when ``targets`` turns out not to be fully
+        deliverable (callers fall back to the legacy realization).
+        """
+        targets = np.asarray(targets, dtype=float)
+        if targets.shape != (self._n,):
+            return None
+        synced = (
+            self._flow_targets is not None
+            and bool((targets == self._flow_targets).all())
+        )
+        if not synced:
+            delivered, *_ = self._flow_solve(targets)
+            if not feq(delivered, float(targets.sum()), scale=self._scale):
+                return None
+        alloc = np.zeros((self._n, self._m))
+        if self._sup_eids.size:
+            alloc[self._sup_job, self._sup_site] = self._graph.flows(self._sup_eids)
+        if self._folded_idx.size:
+            alloc[self._folded_idx, self._folded_site] = np.minimum(
+                targets[self._folded_idx], self._folded_cap
+            )
+        return alloc

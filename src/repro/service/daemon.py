@@ -199,6 +199,13 @@ class AllocationService:
                     "cuts_generated": inc.cuts_generated,
                     "warm_cuts_seeded": inc.warm_cuts_seeded,
                     "basis_size": len(self.incremental.basis),
+                    # parametric-oracle reuse breakdown (docs/performance.md)
+                    "probes_reused": inc.probes_reused,
+                    "probes_early_accept": inc.probes_early_accept,
+                    "probes_cut_reject": inc.probes_cut_reject,
+                    "probes_warm": inc.probes_warm,
+                    "probes_cold": inc.probes_cold,
+                    "probe_rollbacks": inc.probe_rollbacks,
                 },
                 "cache": {
                     "entries": len(self.cache),

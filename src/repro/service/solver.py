@@ -39,12 +39,28 @@ class IncrementalStats:
     cuts_generated: int = 0  # cuts still discovered despite warm start
     warm_cuts_seeded: int = 0  # cuts replayed from the basis
     rounds: int = 0
+    # parametric-oracle reuse breakdown (all zero on the legacy backend)
+    probes_early_accept: int = 0  # probes answered by feasible-dominance
+    probes_cut_reject: int = 0  # probes answered by a stored site cut
+    probes_warm: int = 0  # flow solves continuing from existing flow
+    probes_cold: int = 0  # flow solves starting from zero flow
+    probe_rollbacks: int = 0  # probes that cancelled flow before solving
+
+    @property
+    def probes_reused(self) -> int:
+        """Probes that avoided a cold flow solve (the warm-reuse headline)."""
+        return self.probes_early_accept + self.probes_cut_reject + self.probes_warm
 
     def merge(self, diag: AmfDiagnostics) -> None:
         self.feasibility_solves += diag.feasibility_solves
         self.cuts_generated += diag.cuts_generated
         self.warm_cuts_seeded += diag.warm_cuts_seeded
         self.rounds += diag.rounds
+        self.probes_early_accept += diag.probes_early_accept
+        self.probes_cut_reject += diag.probes_cut_reject
+        self.probes_warm += diag.probes_warm
+        self.probes_cold += diag.probes_cold
+        self.probe_rollbacks += diag.probe_rollbacks
 
 
 class IncrementalAmfSolver:
@@ -59,11 +75,16 @@ class IncrementalAmfSolver:
         cold solver with the *identical* pipeline (validation, diagnostics,
         allocation plumbing) — the control arm for warm-vs-cold A/B
         measurements such as experiment X9.
+    oracle:
+        Feasibility backend handed to :func:`solve_amf`; the default
+        ``"parametric"`` threads the persistent basis into the oracle's
+        cut-screening pool so stored cuts answer probes without a flow solve.
     """
 
-    def __init__(self, max_cuts: int = 64, *, persistent: bool = True):
+    def __init__(self, max_cuts: int = 64, *, persistent: bool = True, oracle: str = "parametric"):
         self.basis = CutBasis(max_cuts=max_cuts)
         self.persistent = persistent
+        self.oracle = oracle
         self.stats = IncrementalStats()
         self.__name__ = "amf-incremental" if persistent else "amf-cold"
 
@@ -73,7 +94,7 @@ class IncrementalAmfSolver:
         diag = AmfDiagnostics()
         self.stats.solves += 1
         try:
-            alloc = solve_amf(cluster, diagnostics=diag, basis=self.basis)
+            alloc = solve_amf(cluster, diagnostics=diag, basis=self.basis, oracle=self.oracle)
         except Exception:
             # A numerically broken basis must not poison the next attempt;
             # drop it and let the fallback chain take this solve cold.

@@ -1,0 +1,109 @@
+"""Tests for the process-pool sweep fan-out (repro.analysis.parallel).
+
+The contract: parallelism is an implementation detail — results must be
+byte-identical to the serial path, in the same order, with the same
+deterministic per-task seeding.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import parallel
+from repro.analysis.parallel import default_workers, grid_map, parallel_map, set_default_workers
+from repro.analysis.sweep import sweep1d
+
+
+def _square(x):
+    return x * x
+
+
+def test_serial_matches_parallel():
+    tasks = list(range(20))
+    serial = parallel_map(_square, tasks, workers=1)
+    assert serial == [x * x for x in tasks]
+    if parallel._fork_available():
+        fanned = parallel_map(_square, tasks, workers=3)
+        assert fanned == serial
+
+
+def test_parallel_map_preserves_order():
+    tasks = list(range(37))
+    out = parallel_map(lambda t: -t, tasks, workers=2)
+    assert out == [-t for t in tasks]
+
+
+def test_parallel_map_empty():
+    assert parallel_map(_square, [], workers=4) == []
+
+
+def test_grid_map_shape_and_determinism():
+    points = [0.5, 1.0, 2.0]
+    seeds = [7, 8]
+
+    def fn(x, rng):
+        return x + rng.uniform()
+
+    serial = grid_map(fn, points, seeds, workers=1)
+    assert len(serial) == len(points)
+    assert all(len(row) == len(seeds) for row in serial)
+    # per-task seeding: same (point, seed) -> same draw, any worker count
+    again = grid_map(fn, points, seeds, workers=1)
+    assert serial == again
+    if parallel._fork_available():
+        fanned = grid_map(fn, points, seeds, workers=2)
+        assert fanned == serial
+
+
+def test_grid_map_seeds_are_independent():
+    draws = grid_map(lambda x, rng: rng.uniform(), [0.0], [1, 2, 3], workers=1)[0]
+    assert len(set(draws)) == 3
+
+
+def test_default_workers_env(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    set_default_workers(None)
+    assert default_workers() == 1
+    monkeypatch.setenv("REPRO_WORKERS", "5")
+    assert default_workers() == 5
+    monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+    assert default_workers() == 1
+    monkeypatch.setenv("REPRO_WORKERS", "3")
+    set_default_workers(7)  # explicit override beats the environment
+    try:
+        assert default_workers() == 7
+    finally:
+        set_default_workers(None)
+
+
+def test_worker_guard_prevents_nesting(monkeypatch):
+    monkeypatch.setattr(parallel, "_IN_WORKER", True)
+    # inside a worker the pool must not fork again; serial fallback instead
+    assert parallel_map(_square, [1, 2, 3], workers=8) == [1, 4, 9]
+
+
+def test_sweep1d_parallel_matches_serial():
+    def fn(x, rng):
+        return {"val": float(x) + rng.uniform()}
+
+    serial = sweep1d("n", [5, 10], fn, seeds=[0, 1], workers=1)
+    assert serial.x_values == [5, 10]
+    if parallel._fork_available():
+        fanned = sweep1d("n", [5, 10], fn, seeds=[0, 1], workers=2)
+        assert fanned.series()["val"] == serial.series()["val"]
+
+
+def test_closures_cross_the_fork_boundary():
+    if not parallel._fork_available():
+        pytest.skip("fork start method unavailable")
+    captured = np.arange(4.0)  # inherited via fork memory, never pickled
+    out = parallel_map(lambda i: float(captured[i]), [0, 1, 2, 3], workers=2)
+    assert out == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_repro_workers_env_used_when_unset(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+    set_default_workers(None)
+    assert os.environ["REPRO_WORKERS"] == "1"
+    assert parallel_map(_square, [2], workers=None) == [4]

@@ -1,0 +1,189 @@
+"""Property tests: the parametric oracle is verdict-identical to cold solves.
+
+The acceptance bar for the warm engine: on any probe sequence, the
+``feasible`` bit returned by :class:`ParametricFeasibility` must be
+*bit-identical* to what a cold ``build_network(...).solve()`` (fresh
+pointer graph + Dinic from zero flow) returns for the same targets — no
+matter in which order the probes arrive, whether folding or cut screening
+is on, and which internal answer mode (early-accept, cut-reject, warm or
+cold flow) produced the verdict.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.amf import AmfDiagnostics, amf_levels, amf_levels_bisect, solve_amf
+from repro.flownet.bipartite import build_network
+from repro.flownet.parametric import ParametricFeasibility
+from repro.model.cluster import Cluster
+from repro.workload.generator import WorkloadSpec, generate_cluster
+
+
+def _cold_outcome(cluster, targets):
+    """The reference: fresh network, Dinic from zero flow."""
+    return build_network(cluster, np.asarray(targets, dtype=float)).solve()
+
+
+@st.composite
+def clusters_and_probes(draw):
+    n_jobs = draw(st.integers(min_value=1, max_value=5))
+    n_sites = draw(st.integers(min_value=1, max_value=4))
+    caps = [draw(st.floats(min_value=0.2, max_value=6.0)) for _ in range(n_sites)]
+    workloads = []
+    for _ in range(n_jobs):
+        row = [draw(st.floats(min_value=0.0, max_value=4.0)) for _ in range(n_sites)]
+        if max(row) == 0.0:  # every job needs support somewhere
+            row[draw(st.integers(min_value=0, max_value=n_sites - 1))] = 1.0
+        workloads.append(row)
+    cluster = Cluster.from_matrices(caps, workloads)
+    demand = cluster.aggregate_demand
+    # Probe fractions both rising and falling, including the exact bounds
+    # bisection hits (0 and 1) — the sequence shape that broke fuzzy
+    # early-accept once already.
+    n_probes = draw(st.integers(min_value=1, max_value=7))
+    fractions = [
+        draw(st.floats(min_value=0.0, max_value=1.2, allow_nan=False)) for _ in range(n_probes)
+    ]
+    return cluster, [f * demand for f in fractions]
+
+
+@settings(max_examples=50, deadline=None)
+@given(clusters_and_probes(), st.booleans(), st.booleans())
+def test_probe_verdicts_bit_identical_to_cold(case, fold, screen):
+    cluster, probes = case
+    oracle = ParametricFeasibility(cluster, fold_single_site=fold, screen_cuts=screen)
+    for targets in probes:
+        cold = _cold_outcome(cluster, targets)
+        warm = oracle.probe(targets)
+        assert warm.feasible is cold.feasible
+        assert warm.demanded == pytest.approx(cold.demanded, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(clusters_and_probes())
+def test_need_cut_probes_return_the_cold_min_cut(case):
+    """With ``need_cut`` the oracle must surface the same minimal cut."""
+    cluster, probes = case
+    oracle = ParametricFeasibility(cluster)
+    for targets in probes:
+        cold = _cold_outcome(cluster, targets)
+        warm = oracle.probe(targets, need_cut=True)
+        assert warm.feasible is cold.feasible
+        assert warm.cut_sites == cold.cut_sites
+        assert warm.cut_jobs == cold.cut_jobs
+        assert warm.flow_value == pytest.approx(cold.flow_value, abs=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(clusters_and_probes())
+def test_feasible_flow_value_matches_demand(case):
+    cluster, probes = case
+    oracle = ParametricFeasibility(cluster)
+    for targets in probes:
+        out = oracle.probe(targets, need_cut=True)
+        if out.feasible:
+            assert out.flow_value == pytest.approx(float(np.sum(targets)), abs=1e-7)
+            alloc = oracle.allocation_matrix(targets)
+            assert alloc is not None
+            np.testing.assert_allclose(alloc.sum(axis=1), targets, atol=1e-7)
+            assert bool((alloc <= cluster.demand_caps + 1e-9).all())
+            assert bool((alloc.sum(axis=0) <= cluster.capacities + 1e-7).all())
+
+
+def test_allocation_matrix_resyncs_after_infeasible_probe():
+    """An infeasible probe in between must not corrupt the stored flow."""
+    cluster = Cluster.from_matrices([1.0, 1.0], [[1.0, 1.0], [1.0, 0.0]])
+    oracle = ParametricFeasibility(cluster)
+    good = np.array([1.0, 0.9])
+    assert oracle.probe(good).feasible
+    assert not oracle.probe(np.array([3.0, 3.0])).feasible  # mutates the flow
+    alloc = oracle.allocation_matrix(good)
+    assert alloc is not None
+    np.testing.assert_allclose(alloc.sum(axis=1), good, atol=1e-9)
+
+
+def test_allocation_matrix_rejects_infeasible_targets():
+    cluster = Cluster.from_matrices([1.0], [[1.0]])
+    oracle = ParametricFeasibility(cluster)
+    assert oracle.allocation_matrix(np.array([5.0])) is None
+    assert oracle.allocation_matrix(np.array([1.0, 2.0])) is None  # wrong shape
+
+
+def test_all_jobs_single_site_fold_entirely():
+    """Degree-1 folding may leave an empty reduced network."""
+    cluster = Cluster.from_matrices([2.0, 1.0], [[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+    oracle = ParametricFeasibility(cluster)
+    assert oracle.stats.folded_jobs == 3
+    assert oracle.probe(np.array([1.0, 1.0, 1.0])).feasible
+    out = oracle.probe(np.array([2.0, 1.0, 2.0]), need_cut=True)
+    assert not out.feasible
+    cold = _cold_outcome(cluster, [2.0, 1.0, 2.0])
+    assert out.feasible is cold.feasible
+    assert out.cut_sites == cold.cut_sites
+
+
+def test_single_job_single_site():
+    cluster = Cluster.from_matrices([1.5], [[1.0]])
+    oracle = ParametricFeasibility(cluster)
+    assert oracle.probe(np.array([1.5])).feasible
+    assert not oracle.probe(np.array([1.6])).feasible
+    assert oracle.probe(np.array([0.0])).feasible
+
+
+def test_observed_cut_screens_without_flow_solve():
+    cluster = Cluster.from_matrices([1.0, 1.0], [[1.0, 1.0], [1.0, 1.0]])
+    oracle = ParametricFeasibility(cluster)
+    oracle.observe_cut({0, 1})  # total capacity 2.0
+    out = oracle.probe(np.array([5.0, 5.0]))
+    assert not out.feasible
+    assert out.mode == "cut-reject"
+    assert oracle.stats.cut_rejects == 1
+    # the screen is advisory only: the verdict still matches a cold solve
+    assert _cold_outcome(cluster, [5.0, 5.0]).feasible is False
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_amf_levels_match_legacy_oracle(seed):
+    cluster = generate_cluster(
+        WorkloadSpec(n_jobs=25, n_sites=6, theta=1.2), np.random.default_rng(seed)
+    )
+    d_par, d_leg = AmfDiagnostics(), AmfDiagnostics()
+    lv_par = amf_levels(cluster, diagnostics=d_par, oracle="parametric")
+    lv_leg = amf_levels(cluster, diagnostics=d_leg, oracle="legacy")
+    np.testing.assert_allclose(lv_par, lv_leg, atol=1e-8, rtol=1e-9)
+    # identical probe-for-probe behaviour, not just identical answers
+    assert d_par.feasibility_solves == d_leg.feasibility_solves
+    np.testing.assert_allclose(
+        amf_levels_bisect(cluster, oracle="parametric"),
+        amf_levels_bisect(cluster, oracle="legacy"),
+        atol=1e-7,
+        rtol=1e-7,
+    )
+    np.testing.assert_allclose(
+        solve_amf(cluster, oracle="parametric").aggregates,
+        solve_amf(cluster, oracle="legacy").aggregates,
+        atol=1e-7,
+    )
+
+
+def test_degenerate_instances_stop_at_the_model_boundary():
+    """Zero-capacity sites / empty clusters never reach the oracle."""
+    with pytest.raises(Exception, match="capacity must be positive"):
+        Cluster.from_matrices([0.0, 1.0], [[1.0, 1.0]])
+    with pytest.raises(Exception, match="at least one site"):
+        Cluster([], [])
+    # the in-model degenerates the oracle must survive: zero targets
+    cluster = Cluster.from_matrices([1.0], [[1.0]])
+    out = ParametricFeasibility(cluster).probe(np.zeros(1), need_cut=True)
+    assert out.feasible and out.flow_value == 0.0
+
+
+def test_probe_stats_track_reuse():
+    cluster = Cluster.from_matrices([2.0, 2.0], [[1.0, 1.0], [1.0, 1.0]])
+    oracle = ParametricFeasibility(cluster)
+    oracle.probe(np.array([1.0, 1.0]))
+    oracle.probe(np.array([0.5, 0.5]))  # dominated by the last feasible probe
+    assert oracle.stats.early_accepts == 1
+    assert oracle.stats.probes == 2
