@@ -17,6 +17,7 @@ from typing import Sequence
 
 from repro.analysis import parallel
 from repro.analysis.experiments import EXPERIMENTS, ExperimentOutput
+from repro.obs.tracing import span
 
 
 @dataclass(slots=True)
@@ -112,7 +113,10 @@ def generate_report(
         for eid in ids:
             t0 = time.perf_counter()
             try:
-                out = EXPERIMENTS[eid](scale=scale)
+                # Traced only on the serial path: spans in forked workers
+                # would land in per-process ring buffers nobody exports.
+                with span("report.experiment", id=eid):
+                    out = EXPERIMENTS[eid](scale=scale)
                 report.sections.append(ReportSection(eid, time.perf_counter() - t0, out))
             except Exception as exc:  # noqa: BLE001 - reported, not swallowed
                 if not keep_going:

@@ -32,6 +32,32 @@ from repro.sim.engine import simulate
 from repro.workload.generator import WorkloadSpec, generate_cluster, generate_jobs, sites_for
 
 
+def _add_trace_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace-out",
+        metavar="JSON",
+        help="enable repro.obs and write collected trace spans as Chrome-trace "
+        "JSON (load in chrome://tracing or ui.perfetto.dev)",
+    )
+
+
+def _start_tracing(args) -> bool:
+    """Enable observability when ``--trace-out`` was given."""
+    if not getattr(args, "trace_out", None):
+        return False
+    from repro import obs
+
+    obs.enable()
+    return True
+
+
+def _finish_tracing(args) -> None:
+    from repro.obs.tracing import TRACER
+
+    n = TRACER.export(args.trace_out)
+    print(f"wrote {n} trace spans to {args.trace_out}")
+
+
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--jobs", type=int, default=20, help="number of jobs")
     p.add_argument("--sites", type=int, default=6, help="number of sites")
@@ -69,10 +95,13 @@ def cmd_experiment(args) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}; choices: {list(EXPERIMENTS)} or 'all'", file=sys.stderr)
         return 2
+    tracing = _start_tracing(args)
     for eid in ids:
         out = EXPERIMENTS[eid](scale=args.scale)
         print(out.text)
         print()
+    if tracing:
+        _finish_tracing(args)
     return 0
 
 
@@ -84,7 +113,10 @@ def cmd_solve(args) -> int:
         cluster = load_cluster(args.load)
     else:
         cluster = generate_cluster(_spec(args), rng)
+    tracing = _start_tracing(args)
     alloc = get_policy(args.policy)(cluster)
+    if tracing:
+        _finish_tracing(args)
     print(alloc.pretty())
     rep = balance_report(alloc)
     print(f"\nbalance: jain={rep.jain:.4f} cov={rep.cov:.4f} min/max={rep.min_max:.4f}")
@@ -146,8 +178,14 @@ def cmd_simulate(args) -> int:
             "utilization": UtilizationObserver(),
             "availability": AvailabilityObserver(policy=policy if not isinstance(policy, str) else None),
         }
+        if "metrics" in wanted:
+            from repro.obs import REGISTRY, SimObserver
+
+            REGISTRY.enable()
+            named["metrics"] = SimObserver()
         observers = [(n, named[n]) for n in wanted]
         observer = CompositeObserver([o for _, o in observers])
+    tracing = _start_tracing(args)
     res = simulate(
         sites,
         jobs,
@@ -159,6 +197,8 @@ def cmd_simulate(args) -> int:
         max_retries=args.max_retries,
         restart_penalty=args.restart_penalty,
     )
+    if tracing:
+        _finish_tracing(args)
     print(res)
     if not isinstance(policy, str) and hasattr(getattr(policy, "stats", None), "served_by"):
         stats = policy.stats
@@ -192,6 +232,13 @@ def cmd_simulate(args) -> int:
                 f"\navailability: {obs.availability:.4f} "
                 f"(fallback activations: {obs.fallback_activations})"
             )
+        elif name == "metrics":
+            s = obs.summary()
+            print(
+                f"\nobs registry: {s['steps']:.0f} steps, "
+                f"{s['simulated_time']:.3f} simulated time, "
+                f"mean step wall {1e3 * s['mean_step_wall_seconds']:.3f} ms"
+            )
     return 0
 
 
@@ -221,6 +268,7 @@ def cmd_serve(args) -> int:
         max_batch=args.max_batch,
         cache_size=args.cache_size,
         max_cuts=args.max_cuts,
+        observability=not args.no_obs,
     )
     serve(service, host=args.host, port=args.port, quiet=args.quiet)
     return 0
@@ -229,7 +277,10 @@ def cmd_serve(args) -> int:
 def cmd_report(args) -> int:
     from repro.analysis.report import write_report
 
+    tracing = _start_tracing(args)
     report = write_report(args.out, scale=args.scale, experiments=args.only or None, workers=args.workers or None)
+    if tracing:
+        _finish_tracing(args)
     failed = [s.experiment for s in report.sections if s.error is not None]
     print(f"wrote {args.out}: {len(report.sections)} experiments in {report.total_seconds:.1f}s")
     if failed:
@@ -249,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--workers", type=int, default=0, help="fan sweep grids over N processes (0 = REPRO_WORKERS or serial)"
     )
+    _add_trace_arg(p_exp)
     p_exp.set_defaults(fn=cmd_experiment)
 
     p_solve = sub.add_parser("solve", help="solve one generated instance")
@@ -257,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--check", action="store_true", help="also run property checks")
     p_solve.add_argument("--load", metavar="JSON", help="solve a cluster loaded from a JSON file instead of generating one")
     p_solve.add_argument("--save", metavar="JSON", help="write the allocation (with cluster) to a JSON file")
+    _add_trace_arg(p_solve)
     p_solve.set_defaults(fn=cmd_solve)
 
     p_sim = sub.add_parser("simulate", help="simulate a generated batch")
@@ -266,10 +319,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--observe",
         nargs="+",
-        choices=["balance", "churn", "utilization", "availability"],
+        choices=["balance", "churn", "utilization", "availability", "metrics"],
         default=[],
-        help="attach observers and print their summaries",
+        help="attach observers and print their summaries ('metrics' feeds the repro.obs registry)",
     )
+    _add_trace_arg(p_sim)
     p_fail = p_sim.add_argument_group("fault tolerance (docs/robustness.md)")
     p_fail.add_argument("--failures", action="store_true", help="inject Poisson site failures/recoveries")
     p_fail.add_argument("--mtbf", type=float, default=50.0, help="mean time between failures per site")
@@ -307,6 +361,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--cache-size", type=int, default=128, help="allocation cache entries (LRU)")
     p_srv.add_argument("--max-cuts", type=int, default=64, help="persistent cutting-plane pool bound")
     p_srv.add_argument("--quiet", action="store_true", help="suppress per-request access logs")
+    p_srv.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="leave the repro.obs metrics registry and tracer disabled (GET /metrics and /traces serve empty data)",
+    )
     p_srv.set_defaults(fn=cmd_serve)
 
     p_rep = sub.add_parser("report", help="run all experiments and write a markdown report")
@@ -316,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument(
         "--workers", type=int, default=0, help="run experiments in N parallel processes (0 = REPRO_WORKERS or serial)"
     )
+    _add_trace_arg(p_rep)
     p_rep.set_defaults(fn=cmd_report)
     return parser
 

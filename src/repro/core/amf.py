@@ -36,7 +36,9 @@ guarantees, :mod:`repro.core.enhanced`): progressive filling then runs
 
 from __future__ import annotations
 
+import dataclasses
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -46,6 +48,9 @@ from repro.core.allocation import Allocation, scrub_matrix
 from repro.flownet.bipartite import build_network
 from repro.flownet.parametric import ParametricFeasibility
 from repro.model.cluster import Cluster
+from repro.obs.instruments import record_amf
+from repro.obs.registry import REGISTRY
+from repro.obs.tracing import TRACER, span
 
 __all__ = [
     "solve_amf",
@@ -442,6 +447,25 @@ class _FeasibilityAdapter:
         return self.oracle.allocation_matrix(levels)
 
 
+@contextmanager
+def _observed_solve(variant: str, cluster: Cluster, diag: AmfDiagnostics):
+    """Span + diagnostics-delta recording around one solver entry.
+
+    The registry folds in the *delta* of ``diag`` over this entry (one
+    mutable diagnostics record is commonly shared across consecutive
+    solver calls), so registry totals bit-match the diagnostics no matter
+    how callers batch them.  Disabled observability costs two attribute
+    reads.
+    """
+    if not (REGISTRY.enabled or TRACER.enabled):
+        yield
+        return
+    before = dataclasses.replace(diag)
+    with span("amf.solve", variant=variant, jobs=cluster.n_jobs, sites=cluster.n_sites):
+        yield
+    record_amf(diag, since=before)
+
+
 def amf_levels(
     cluster: Cluster,
     floors: np.ndarray | None = None,
@@ -478,7 +502,8 @@ def amf_levels(
     allocation.  Use :func:`solve_amf` for a realized job-site matrix.
     """
     diag = diagnostics if diagnostics is not None else AmfDiagnostics()
-    levels, _ = _fill_levels(cluster, floors, diag, basis, oracle)
+    with _observed_solve("levels", cluster, diag):
+        levels, _ = _fill_levels(cluster, floors, diag, basis, oracle)
     return levels
 
 
@@ -624,7 +649,8 @@ def solve_amf(
     of re-solving a fresh network.
     """
     diag = diagnostics if diagnostics is not None else AmfDiagnostics()
-    levels, adapter = _fill_levels(cluster, floors, diag, basis, oracle)
+    with _observed_solve("solve", cluster, diag):
+        levels, adapter = _fill_levels(cluster, floors, diag, basis, oracle)
     matrix = adapter.realize(levels) if adapter is not None else None
     if matrix is not None:
         matrix = _finalize_matrix(cluster, levels, matrix)
@@ -672,6 +698,12 @@ def amf_levels_bisect(
     diag = diagnostics if diagnostics is not None else AmfDiagnostics()
     if n == 0:
         return np.zeros(0)
+    with _observed_solve("bisect", cluster, diag):
+        return _bisect_levels(cluster, tol, diag, oracle)
+
+
+def _bisect_levels(cluster: Cluster, tol: float, diag: AmfDiagnostics, oracle: str) -> np.ndarray:
+    n = cluster.n_jobs
     caps = cluster.aggregate_demand.copy()
     weights = cluster.weights
     adapter = _FeasibilityAdapter(cluster, np.zeros(n), caps, diag, backend=oracle)

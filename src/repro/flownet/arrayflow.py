@@ -22,6 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from repro._util import ABS_TOL, require
+from repro.obs.tracing import TRACER, span
 
 __all__ = ["ArrayFlowGraph"]
 
@@ -252,6 +253,14 @@ class ArrayFlowGraph:
         main saving on feasible λ-probes, where the source always
         saturates.
         """
+        if not TRACER.enabled:
+            return self._max_flow_impl(s, t, limit)
+        with span("flow.max_flow", edges=int(self.to.size) // 2) as sp:
+            value = self._max_flow_impl(s, t, limit)
+            sp.args["flow"] = value
+        return value
+
+    def _max_flow_impl(self, s: int, t: int, limit: float | None) -> float:
         total = 0.0
         if limit is not None and limit <= ABS_TOL:
             return total

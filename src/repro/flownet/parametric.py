@@ -45,6 +45,7 @@ import numpy as np
 from repro._util import ABS_TOL, REL_TOL, feq
 from repro.flownet.arrayflow import ArrayFlowGraph
 from repro.model.cluster import Cluster
+from repro.obs.tracing import TRACER, span
 
 __all__ = ["ParametricFeasibility", "ProbeOutcome", "ProbeStats"]
 
@@ -345,6 +346,15 @@ class ParametricFeasibility:
         screening cut) — required by the cutting-plane loop, which must see
         each site set at most once.
         """
+        if not TRACER.enabled:
+            return self._probe_impl(targets, need_cut=need_cut)
+        with span("flow.probe") as sp:
+            out = self._probe_impl(targets, need_cut=need_cut)
+            sp.args["mode"] = out.mode
+            sp.args["feasible"] = out.feasible
+        return out
+
+    def _probe_impl(self, targets: np.ndarray, *, need_cut: bool = False) -> ProbeOutcome:
         targets = np.asarray(targets, dtype=float)
         st = self.stats
         st.probes += 1

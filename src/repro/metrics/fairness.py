@@ -13,6 +13,15 @@ Each is computed over the *weighted, demand-normalized* aggregates by
 default: ``x_i = A_i / w_i`` restricted to jobs that are not
 demand-saturated (a job that already has everything it can use should not
 count as "poor").  Raw variants are exposed for completeness.
+
+**Degenerate-vector convention.**  Empty and all-zero vectors read as
+*perfectly equal* across all three metrics — ``jain_index`` and
+``min_max_ratio`` return 1.0, ``coefficient_of_variation`` returns 0.0 —
+because an allocation where every job holds exactly the same amount
+(zero) exhibits no imbalance for these measures to report.  The naive
+formulas would all divide by zero there; pinning the convention (rather
+than returning NaN) keeps time-integrated observers and report tables
+total.  Guarded by ``tests/metrics/test_fairness.py``.
 """
 
 from __future__ import annotations
@@ -26,7 +35,11 @@ from repro.core.allocation import Allocation
 
 
 def jain_index(values: np.ndarray) -> float:
-    """Jain's fairness index of a non-negative vector (1 = perfectly equal)."""
+    """Jain's fairness index of a non-negative vector (1 = perfectly equal).
+
+    Empty and all-zero vectors return 1.0 (see the module docstring's
+    degenerate-vector convention).
+    """
     v = np.asarray(values, dtype=float)
     if v.size == 0:
         return 1.0
@@ -37,7 +50,11 @@ def jain_index(values: np.ndarray) -> float:
 
 
 def coefficient_of_variation(values: np.ndarray) -> float:
-    """Std / mean (0 = perfectly equal)."""
+    """Std / mean (0 = perfectly equal).
+
+    Empty and all-zero vectors return 0.0 — "perfectly equal", consistent
+    with :func:`jain_index` / :func:`min_max_ratio` (module docstring).
+    """
     v = np.asarray(values, dtype=float)
     if v.size == 0 or v.mean() <= 0.0:
         return 0.0
@@ -45,7 +62,11 @@ def coefficient_of_variation(values: np.ndarray) -> float:
 
 
 def min_max_ratio(values: np.ndarray) -> float:
-    """min / max (1 = equal, 0 = somebody starved)."""
+    """min / max (1 = equal, 0 = somebody starved).
+
+    Empty and all-zero vectors return 1.0 — everyone holds the same
+    (zero) amount, so nobody is *relatively* starved (module docstring).
+    """
     v = np.asarray(values, dtype=float)
     if v.size == 0 or v.max() <= 0.0:
         return 1.0

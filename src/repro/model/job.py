@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Mapping
@@ -14,7 +15,12 @@ def _frozen_mapping(values: Mapping[str, float], name: str, *, allow_zero: bool)
     for key, value in values.items():
         require(bool(key), f"{name}: site names must be non-empty")
         fval = float(value)
-        require(fval >= 0.0, f"{name}[{key!r}] must be non-negative, got {fval}")
+        # isfinite: inf satisfies >= 0 but poisons every solver downstream
+        # (aggregate demands, flow capacities); NaN fails both checks.
+        require(
+            math.isfinite(fval) and fval >= 0.0,
+            f"{name}[{key!r}] must be finite and non-negative, got {fval}",
+        )
         if fval > 0.0 or allow_zero:
             out[key] = fval
     return MappingProxyType(out)
@@ -53,8 +59,14 @@ class Job:
 
     def __post_init__(self) -> None:
         require(bool(self.name), "job name must be non-empty")
-        require(self.weight > 0.0, f"job {self.name!r}: weight must be positive, got {self.weight}")
-        require(self.arrival >= 0.0, f"job {self.name!r}: arrival must be non-negative")
+        require(
+            math.isfinite(self.weight) and self.weight > 0.0,
+            f"job {self.name!r}: weight must be positive and finite, got {self.weight}",
+        )
+        require(
+            math.isfinite(self.arrival) and self.arrival >= 0.0,
+            f"job {self.name!r}: arrival must be non-negative and finite, got {self.arrival}",
+        )
         workload = _frozen_mapping(self.workload, f"job {self.name!r} workload", allow_zero=False)
         require(len(workload) > 0, f"job {self.name!r}: workload must be positive at >= 1 site")
         object.__setattr__(self, "workload", workload)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro._util import require
@@ -17,7 +18,7 @@ class Site:
         Human-readable identifier, unique within a cluster.
     capacity:
         Amount of the congestible resource the site offers (e.g. slots).
-        Must be strictly positive.
+        Must be strictly positive and finite.
     tags:
         Optional free-form labels (region, tier, ...) carried through to
         traces and reports; they never affect allocation.
@@ -29,7 +30,10 @@ class Site:
 
     def __post_init__(self) -> None:
         require(bool(self.name), "site name must be non-empty")
-        require(self.capacity > 0.0, f"site {self.name!r}: capacity must be positive, got {self.capacity}")
+        require(
+            math.isfinite(self.capacity) and self.capacity > 0.0,
+            f"site {self.name!r}: capacity must be positive and finite, got {self.capacity}",
+        )
 
     def scaled(self, factor: float) -> "Site":
         """Return a copy of this site with capacity multiplied by ``factor``."""

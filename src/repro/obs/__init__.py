@@ -1,0 +1,65 @@
+"""`repro.obs` — zero-dependency observability: metrics + trace spans.
+
+Two process-global singletons, both **off by default** with a
+one-attribute-read fast path on every hot call site:
+
+* :data:`~repro.obs.registry.REGISTRY` — counters / gauges / histograms,
+  rendered as Prometheus text (``GET /metrics``, :func:`render_prometheus`).
+* :data:`~repro.obs.tracing.TRACER` — a ring buffer of recent spans with
+  parent-child nesting (``amf.solve`` → ``flow.probe`` → ``flow.max_flow``),
+  exported as Chrome-trace JSON (``GET /traces``, ``--trace-out``).
+
+Turn both on with :func:`enable`; the service daemon does this by default
+and the CLI does under ``--trace-out``.  See docs/observability.md for the
+instrument catalog and export walk-throughs.
+"""
+
+from repro.obs.instruments import record_amf, record_cache, record_queue_flush
+from repro.obs.registry import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.simobs import SimObserver
+from repro.obs.tracing import TRACER, Tracer, get_tracer, span, traced
+
+__all__ = [
+    "REGISTRY",
+    "TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SimObserver",
+    "Tracer",
+    "disable",
+    "enable",
+    "get_registry",
+    "get_tracer",
+    "parse_prometheus",
+    "record_amf",
+    "record_cache",
+    "record_queue_flush",
+    "render_prometheus",
+    "span",
+    "traced",
+]
+
+
+def enable(*, metrics: bool = True, traces: bool = True) -> None:
+    """Switch the global registry and/or tracer on."""
+    if metrics:
+        REGISTRY.enable()
+    if traces:
+        TRACER.enable()
+
+
+def disable() -> None:
+    """Switch both the global registry and tracer off (data is kept)."""
+    REGISTRY.disable()
+    TRACER.disable()

@@ -1,0 +1,143 @@
+"""The named-instrument catalog: every built-in metric in one place.
+
+Modules on the hot path do not invent metric names inline — they call the
+recording helpers here (or touch the module-level instruments directly),
+so the full catalog is greppable and documented once (docs/observability.md
+renders this as a table).  All instruments bind to the process-global
+:data:`~repro.obs.registry.REGISTRY`.
+
+Naming convention: ``repro_<layer>_<what>[_total|_seconds]`` — counters end
+in ``_total``, histograms of durations in ``_seconds`` (Prometheus base
+units), gauges are bare nouns.
+
+The AMF probe counters are *fold-ins* of :class:`repro.core.amf
+.AmfDiagnostics`: :func:`record_amf` adds the per-solve deltas, so the
+registry totals bit-match the sum of diagnostics over the same solve
+sequence (asserted by ``tests/obs/test_instruments.py`` and the service
+``/metrics`` vs ``/stats`` cross-check).
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import REGISTRY
+
+__all__ = [
+    "AMF_SOLVES",
+    "CACHE_HITS",
+    "CACHE_MISSES",
+    "CACHE_EVICTIONS",
+    "QUEUE_DEPTH",
+    "QUEUE_BATCHES",
+    "QUEUE_EVENTS",
+    "QUEUE_FLUSH_SECONDS",
+    "SERVICE_REQUESTS",
+    "SERVICE_ERRORS",
+    "SERVICE_REQUEST_SECONDS",
+    "SERVICE_SOLVE_SECONDS",
+    "SIM_STEPS",
+    "SIM_STEP_SECONDS",
+    "SIM_SIM_TIME_SECONDS",
+    "SIM_ACTIVE_JOBS",
+    "record_amf",
+    "record_cache",
+    "record_queue_flush",
+]
+
+# -- solver (repro.core.amf + repro.flownet.parametric) -----------------
+AMF_SOLVES = REGISTRY.counter("repro_amf_solves_total", "AMF solver entries (levels, bisect or full solve)")
+
+#: ``AmfDiagnostics`` field -> counter; the bit-match contract lives here.
+_AMF_COUNTERS = {
+    "rounds": REGISTRY.counter("repro_amf_rounds_total", "progressive-filling rounds"),
+    "feasibility_solves": REGISTRY.counter(
+        "repro_amf_feasibility_solves_total", "feasibility probes the solver asked"
+    ),
+    "cuts_generated": REGISTRY.counter("repro_amf_cuts_generated_total", "new site cuts discovered"),
+    "frozen_by_cap": REGISTRY.counter("repro_amf_frozen_by_cap_total", "jobs frozen demand-saturated"),
+    "frozen_by_cut": REGISTRY.counter("repro_amf_frozen_by_cut_total", "jobs frozen in a binding cut"),
+    "warm_cuts_seeded": REGISTRY.counter(
+        "repro_amf_warm_cuts_seeded_total", "cuts replayed from a CutBasis"
+    ),
+    "probes_early_accept": REGISTRY.counter(
+        "repro_flow_probes_early_accept_total", "probes answered by feasible-dominance"
+    ),
+    "probes_cut_reject": REGISTRY.counter(
+        "repro_flow_probes_cut_reject_total", "probes answered by a stored site cut"
+    ),
+    "probes_warm": REGISTRY.counter(
+        "repro_flow_probes_warm_total", "flow solves continuing from existing flow"
+    ),
+    "probes_cold": REGISTRY.counter("repro_flow_probes_cold_total", "flow solves starting from zero flow"),
+    "probe_rollbacks": REGISTRY.counter(
+        "repro_flow_probe_rollbacks_total", "probes that cancelled flow before solving"
+    ),
+    "jobs_folded": REGISTRY.counter(
+        "repro_flow_jobs_folded_total", "degree-1 jobs folded out of the flow network"
+    ),
+}
+
+# -- service: cache / batching / daemon / HTTP --------------------------
+CACHE_HITS = REGISTRY.counter("repro_cache_hits_total", "allocation cache hits")
+CACHE_MISSES = REGISTRY.counter("repro_cache_misses_total", "allocation cache misses")
+CACHE_EVICTIONS = REGISTRY.counter("repro_cache_evictions_total", "allocation cache LRU evictions")
+
+QUEUE_DEPTH = REGISTRY.gauge("repro_queue_depth", "events pending in the coalescing queue")
+QUEUE_BATCHES = REGISTRY.counter("repro_queue_batches_total", "batches drained from the coalescing queue")
+QUEUE_EVENTS = REGISTRY.counter("repro_queue_coalesced_events_total", "events drained in batches")
+QUEUE_FLUSH_SECONDS = REGISTRY.histogram(
+    "repro_queue_flush_seconds", "batch apply latency (drain + state apply)"
+)
+
+SERVICE_REQUESTS = REGISTRY.counter("repro_service_requests_total", "HTTP requests handled")
+SERVICE_ERRORS = REGISTRY.counter("repro_service_errors_total", "HTTP responses with status >= 400")
+SERVICE_REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_service_request_seconds", "HTTP request handling latency"
+)
+SERVICE_SOLVE_SECONDS = REGISTRY.histogram(
+    "repro_service_solve_seconds", "allocation pipeline latency on cache misses"
+)
+
+# -- simulator ----------------------------------------------------------
+SIM_STEPS = REGISTRY.counter("repro_sim_steps_total", "simulator intervals observed")
+SIM_STEP_SECONDS = REGISTRY.histogram(
+    "repro_sim_step_seconds", "wall-clock time per simulator step (policy solve + advance)"
+)
+SIM_SIM_TIME_SECONDS = REGISTRY.counter(
+    "repro_sim_simulated_time_total", "simulated time advanced across observed intervals"
+)
+SIM_ACTIVE_JOBS = REGISTRY.gauge("repro_sim_active_jobs", "jobs active in the last observed interval")
+
+
+# -- recording helpers (each guards on REGISTRY.enabled) ----------------
+def record_amf(diag, since=None) -> None:
+    """Fold one solve's :class:`AmfDiagnostics` into the registry.
+
+    ``since`` is a snapshot of the same record taken when the solve
+    started: callers may hand one mutable diagnostics object to several
+    consecutive solver entries, so only the *delta* belongs to this one.
+    """
+    if not REGISTRY.enabled:
+        return
+    AMF_SOLVES.inc()
+    for field, counter in _AMF_COUNTERS.items():
+        value = getattr(diag, field)
+        if since is not None:
+            value -= getattr(since, field)
+        if value:
+            counter.inc(value)
+
+
+def record_cache(*, hit: bool, evictions: int = 0) -> None:
+    if not REGISTRY.enabled:
+        return
+    (CACHE_HITS if hit else CACHE_MISSES).inc()
+    if evictions:
+        CACHE_EVICTIONS.inc(evictions)
+
+
+def record_queue_flush(batch_size: int, seconds: float) -> None:
+    if not REGISTRY.enabled:
+        return
+    QUEUE_BATCHES.inc()
+    QUEUE_EVENTS.inc(batch_size)
+    QUEUE_FLUSH_SECONDS.observe(seconds)

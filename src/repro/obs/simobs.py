@@ -1,0 +1,63 @@
+"""`SimObserver`: feed simulator step timings into the metrics registry.
+
+The fluid simulator already supports pluggable observers
+(:mod:`repro.sim.observers`); this one bridges the run into
+:mod:`repro.obs` so a simulation shows up in the same ``/metrics`` /
+``--trace-out`` surface as the service and the CLI solvers:
+
+* ``repro_sim_steps_total`` — intervals realized,
+* ``repro_sim_simulated_time_total`` — simulated seconds advanced,
+* ``repro_sim_step_seconds`` — *wall-clock* time between consecutive
+  intervals (policy solve + event bookkeeping; measured from the gap
+  between ``observe`` calls, so the first interval is not sampled),
+* ``repro_sim_active_jobs`` — active jobs in the last interval.
+
+Compose with other observers via
+:class:`repro.sim.observers.CompositeObserver`; the CLI wires it in with
+``--observe metrics``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.instruments import SIM_ACTIVE_JOBS, SIM_SIM_TIME_SECONDS, SIM_STEP_SECONDS, SIM_STEPS
+from repro.obs.registry import REGISTRY
+
+
+class SimObserver:
+    """Streams per-interval simulator telemetry into the global registry.
+
+    Deliberately *not* a :class:`repro.sim.observers.Observer` subclass —
+    the engine duck-types observers, and importing :mod:`repro.sim` here
+    would cycle back through :mod:`repro.core` into :mod:`repro.obs`.
+    The optional fault hooks are therefore simply absent (the engine only
+    calls hooks an observer defines).
+    """
+
+    def __init__(self):
+        self._last_wall: float | None = None
+        self.steps = 0
+
+    def observe(self, t, dt, snapshot, alloc) -> None:
+        if not REGISTRY.enabled:
+            return
+        now = time.perf_counter()
+        self.steps += 1
+        SIM_STEPS.inc()
+        if dt > 0.0:
+            SIM_SIM_TIME_SECONDS.inc(dt)
+        SIM_ACTIVE_JOBS.set(snapshot.n_jobs)
+        if self._last_wall is not None:
+            SIM_STEP_SECONDS.observe(now - self._last_wall)
+        self._last_wall = now
+
+    def summary(self) -> dict[str, float]:
+        """Registry-backed run summary (wall stats need >= 2 intervals)."""
+        hist = SIM_STEP_SECONDS
+        mean_wall = hist.sum / hist.count if hist.count else 0.0
+        return {
+            "steps": float(self.steps),
+            "simulated_time": SIM_SIM_TIME_SECONDS.value,
+            "mean_step_wall_seconds": mean_wall,
+        }

@@ -93,6 +93,10 @@ class CoalescingQueue:
         assert self._oldest is not None
         return max(0.0, self.max_delay - (self._clock() - self._oldest))
 
+    def peek(self) -> tuple[ClusterEvent, ...]:
+        """The pending batch without draining it (read-only snapshot)."""
+        return tuple(self._pending)
+
     def drain(self) -> list[ClusterEvent]:
         """Take the whole pending batch (records its size; may be empty)."""
         batch, self._pending = self._pending, []

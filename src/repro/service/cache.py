@@ -21,6 +21,8 @@ import numpy as np
 from repro._util import require
 from repro.core.allocation import Allocation
 from repro.model.cluster import Cluster
+from repro.obs.instruments import CACHE_EVICTIONS, record_cache
+from repro.obs.registry import REGISTRY
 
 __all__ = ["CacheStats", "AllocationCache"]
 
@@ -54,12 +56,16 @@ class AllocationCache:
 
     def get(self, cluster: Cluster) -> Allocation | None:
         """Cached allocation for ``cluster``, rebound and revalidated, or ``None``."""
-        entry = self._entries.get(cluster.fingerprint())
+        # fingerprint() hashes the full instance — compute it once per lookup.
+        key = cluster.fingerprint()
+        entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            record_cache(hit=False)
             return None
-        self._entries.move_to_end(cluster.fingerprint())
+        self._entries.move_to_end(key)
         self.stats.hits += 1
+        record_cache(hit=True)
         matrix, policy = entry
         return Allocation(cluster, matrix.copy(), policy=policy)
 
@@ -70,6 +76,8 @@ class AllocationCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if REGISTRY.enabled:
+                CACHE_EVICTIONS.inc()
 
     def clear(self) -> None:
         self._entries.clear()

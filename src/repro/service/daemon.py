@@ -31,10 +31,13 @@ from repro._util import require
 from repro.core.allocation import Allocation
 from repro.core.policies import PolicyFn, ResilienceStats, ResilientPolicy
 from repro.model.cluster import Cluster
+from repro.obs import instruments
+from repro.obs.registry import REGISTRY
+from repro.obs.tracing import TRACER, span
 from repro.service.batching import CoalescingQueue
 from repro.service.cache import AllocationCache
 from repro.service.solver import IncrementalAmfSolver
-from repro.service.state import ClusterEvent, ClusterState
+from repro.service.state import ClusterEvent, ClusterState, JobArrived
 from repro.sim.scheduler import SolveStats
 
 __all__ = ["ServedAllocation", "AllocationService"]
@@ -72,6 +75,12 @@ class AllocationService:
         per-site max-min; proportional is always the implicit last rung).
     clock:
         Injectable monotone clock (virtual time in tests/benchmarks).
+    observability:
+        Enable the process-global metrics registry and tracer
+        (:mod:`repro.obs`) for this daemon's lifetime.  On by default — the
+        instrumentation is cheap enough to leave on (see
+        ``benchmarks/bench_obs_overhead.py``); pass ``False`` (CLI:
+        ``serve --no-obs``) to keep both switched off.
     """
 
     def __init__(
@@ -84,8 +93,12 @@ class AllocationService:
         max_cuts: int = 64,
         fallbacks: Sequence[str | PolicyFn] = ("amf", "psmf"),
         clock: Callable[[], float] = time.monotonic,
+        observability: bool = True,
     ):
         require(state.n_sites > 0, "service needs at least one site")
+        if observability:
+            REGISTRY.enable()
+            TRACER.enable()
         self.state = state
         self.queue = CoalescingQueue(max_delay=max_delay, max_batch=max_batch, clock=clock)
         self.cache = AllocationCache(max_entries=cache_size)
@@ -107,14 +120,20 @@ class AllocationService:
         with self._lock:
             self.queue.push(event)
             self.events_accepted += 1
-            return len(self.queue)
+            depth = len(self.queue)
+            if REGISTRY.enabled:
+                instruments.QUEUE_DEPTH.set(depth)
+            return depth
 
     def submit_all(self, events: Sequence[ClusterEvent]) -> int:
         with self._lock:
             for event in events:
                 self.queue.push(event)
             self.events_accepted += len(events)
-            return len(self.queue)
+            depth = len(self.queue)
+            if REGISTRY.enabled:
+                instruments.QUEUE_DEPTH.set(depth)
+            return depth
 
     def flush(self, *, force: bool = False) -> int:
         """Apply the pending batch if due (or ``force``); returns events applied."""
@@ -124,7 +143,11 @@ class AllocationService:
             batch = self.queue.drain()
             if not batch:
                 return 0
+            t0 = time.perf_counter()
             applied, rejected = self.state.apply_all(batch)
+            instruments.record_queue_flush(len(batch), time.perf_counter() - t0)
+            if REGISTRY.enabled:
+                instruments.QUEUE_DEPTH.set(len(self.queue))
             for message in rejected:
                 if len(self.rejections) < self.max_rejections:
                     self.rejections.append(message)
@@ -133,6 +156,21 @@ class AllocationService:
     def pending(self) -> int:
         with self._lock:
             return len(self.queue)
+
+    def has_job(self, name: str) -> bool:
+        """Whether ``name`` is in the state *or* queued to arrive.
+
+        The HTTP front-end uses this to answer ``DELETE /jobs/<name>`` with
+        a synchronous 404 for unknown jobs — a plain ``state.has_job`` check
+        would race the coalescing queue (a just-POSTed job is deletable
+        before its batch flushes).
+        """
+        with self._lock:
+            if self.state.has_job(name):
+                return True
+            return any(
+                isinstance(ev, JobArrived) and ev.job.name == name for ev in self.queue.peek()
+            )
 
     def seconds_until_due(self) -> float | None:
         with self._lock:
@@ -160,9 +198,12 @@ class AllocationService:
             if hit is not None:
                 return ServedAllocation(hit, cached=True, seconds=0.0, version=version, fingerprint=fp)
             t0 = time.perf_counter()
-            alloc = self.policy(cluster)
+            with span("service.allocate", jobs=cluster.n_jobs, version=version):
+                alloc = self.policy(cluster)
             dt = time.perf_counter() - t0
             self.solve_stats.record(dt, cluster.n_jobs)
+            if REGISTRY.enabled:
+                instruments.SERVICE_SOLVE_SECONDS.observe(dt)
             self.cache.put(cluster, alloc)
             return ServedAllocation(alloc, cached=False, seconds=dt, version=version, fingerprint=fp)
 

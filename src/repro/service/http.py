@@ -8,19 +8,28 @@ the rest of the library.  Endpoints (all JSON):
     Liveness: library version, state shape, pending events.
 ``GET /stats``
     Full counter dump (solver timings, cache, batching, resilience).
+``GET /metrics``
+    Prometheus text exposition of the :mod:`repro.obs` registry.
+``GET /traces``
+    Recent trace spans as Chrome-trace JSON (load in ``chrome://tracing``).
 ``GET /jobs``
     Jobs currently in the state with their aggregate allocations.
 ``POST /jobs``
     Body = one job object (``{"name", "workload", "demand"?, "weight"?}``)
     or ``{"jobs": [...]}``.  Queues arrivals; returns pending count.
 ``DELETE /jobs/<name>``
-    Queues a departure.
+    Queues a departure (the name is URL-decoded; unknown jobs are 404).
 ``POST /capacity``
     Body ``{"site": str, "capacity": float}``.  Queues a capacity change.
 ``POST /allocate``
     Optional body with ``"jobs"`` to queue first; forces the pending batch
     to apply and returns the (possibly cached) allocation with solver
     provenance.
+
+Error mapping (the full table lives in docs/service.md): invalid input —
+bad JSON, missing fields, non-finite numbers — is 400; unknown paths and
+unknown job names are 404; request bodies over ``MAX_BODY_BYTES`` are 413;
+anything else is a 500 with the exception class in the payload.
 
 A daemon thread flushes the coalescing queue every ``max_delay``, so
 arrivals POSTed without a follow-up ``/allocate`` still land in the state.
@@ -29,29 +38,51 @@ arrivals POSTed without a follow-up ``/allocate`` still land in the state.
 from __future__ import annotations
 
 import json
+import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import unquote
 
 from repro.model.job import Job
+from repro.obs import instruments
+from repro.obs.registry import REGISTRY
+from repro.obs.tracing import TRACER
 from repro.service.daemon import AllocationService
 from repro.service.state import CapacityChanged, JobArrived, JobDeparted, StateError
 
-__all__ = ["job_from_dict", "ServiceServer", "serve"]
+__all__ = ["job_from_dict", "ServiceServer", "serve", "MAX_BODY_BYTES"]
+
+#: Largest accepted request body; anything above is refused with 413
+#: before a byte is read (a liveness guard, not a protocol limit).
+MAX_BODY_BYTES = 4 << 20
+
+
+class _PayloadTooLarge(Exception):
+    """Content-Length above :data:`MAX_BODY_BYTES` (mapped to 413)."""
 
 
 def job_from_dict(data: dict[str, Any]) -> Job:
     """Build a :class:`Job` from the wire format (same field names as
-    :mod:`repro.model.serialize`)."""
+    :mod:`repro.model.serialize`).
+
+    Malformed shapes (non-mapping workload/demand, non-numeric values) and
+    non-finite numbers raise :class:`StateError` / :class:`ValueError`, both
+    of which the HTTP layer maps to 400.
+    """
     if not isinstance(data, dict) or "name" not in data or "workload" not in data:
         raise StateError("job object needs at least 'name' and 'workload'")
-    return Job(
-        str(data["name"]),
-        {str(k): float(v) for k, v in dict(data["workload"]).items()},
-        {str(k): float(v) for k, v in dict(data.get("demand", {})).items()},
-        weight=float(data.get("weight", 1.0)),
-        arrival=float(data.get("arrival", 0.0)),
-    )
+    try:
+        workload = {str(k): float(v) for k, v in dict(data["workload"]).items()}
+        demand = {str(k): float(v) for k, v in dict(data.get("demand", {})).items()}
+        weight = float(data.get("weight", 1.0))
+        arrival = float(data.get("arrival", 0.0))
+    except (TypeError, ValueError) as exc:
+        raise StateError(f"malformed job object: {exc}") from exc
+    # Job.__post_init__ validates values (finite, non-negative, ...) and
+    # raises ValueError, which the HTTP layer also answers with 400.
+    return Job(str(data["name"]), workload, demand, weight=weight, arrival=arrival)
 
 
 def _allocation_payload(served) -> dict[str, Any]:
@@ -92,17 +123,35 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     # -- plumbing ------------------------------------------------------
-    def _send(self, status: int, payload: dict[str, Any]) -> None:
-        body = json.dumps(payload).encode()
+    def _send_raw(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # e.g. after a 413 whose body was never read: tell the client
+            # instead of silently dropping the keep-alive socket
+            self.send_header("Connection", "close")
         self.end_headers()
+        if REGISTRY.enabled:
+            # before the body flush, so the counters are visible to any
+            # request a client issues after reading this response
+            instruments.SERVICE_REQUESTS.inc()
+            if status >= 400:
+                instruments.SERVICE_ERRORS.inc()
+            t0 = getattr(self, "_t0", None)
+            if t0 is not None:
+                instruments.SERVICE_REQUEST_SECONDS.observe(time.perf_counter() - t0)
         self.wfile.write(body)
 
+    def _send(self, status: int, payload: dict[str, Any]) -> None:
+        self._send_raw(status, json.dumps(payload).encode(), "application/json")
+
     def _body(self) -> dict[str, Any]:
+        # A bad Content-Length raises ValueError here -> 400.
         length = int(self.headers.get("Content-Length") or 0)
-        if length == 0:
+        if length > MAX_BODY_BYTES:
+            raise _PayloadTooLarge(f"request body of {length} bytes exceeds {MAX_BODY_BYTES}")
+        if length <= 0:
             return {}
         raw = self.rfile.read(length)
         data = json.loads(raw.decode())
@@ -115,8 +164,19 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._t0 = time.perf_counter()
         try:
-            if self.path == "/health":
+            if self.path == "/metrics":
+                if REGISTRY.enabled:
+                    instruments.QUEUE_DEPTH.set(self.service.pending())
+                self._send_raw(
+                    200,
+                    REGISTRY.render_prometheus().encode(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif self.path == "/traces":
+                self._send_raw(200, json.dumps(TRACER.to_chrome()).encode(), "application/json")
+            elif self.path == "/health":
                 import repro
 
                 stats = self.service.stats()
@@ -141,6 +201,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._fail(500, f"{type(exc).__name__}: {exc}")
 
     def do_POST(self) -> None:  # noqa: N802
+        self._t0 = time.perf_counter()
         try:
             body = self._body()
             if self.path == "/allocate":
@@ -155,23 +216,44 @@ class _Handler(BaseHTTPRequestHandler):
             elif self.path == "/capacity":
                 if "site" not in body or "capacity" not in body:
                     raise StateError("body needs 'site' and 'capacity'")
-                pending = self.service.submit(CapacityChanged(str(body["site"]), float(body["capacity"])))
+                capacity = float(body["capacity"])
+                # Validated here, not at flush time: the queue applies
+                # batches asynchronously, so a bad value rejected there
+                # would only surface as a silent rejection-log entry.
+                # json.loads happily parses the Infinity/NaN literals.
+                if not (math.isfinite(capacity) and capacity > 0.0):
+                    raise StateError(f"capacity must be positive and finite, got {capacity}")
+                pending = self.service.submit(CapacityChanged(str(body["site"]), capacity))
                 self._send(202, {"pending_events": pending})
             else:
                 self._fail(404, f"unknown path {self.path!r}")
+        except _PayloadTooLarge as exc:
+            # The oversized body was never read off the socket; close the
+            # connection rather than let keep-alive parse it as a request.
+            self.close_connection = True
+            self._fail(413, str(exc))
         except (StateError, ValueError, json.JSONDecodeError) as exc:
             self._fail(400, str(exc))
         except Exception as exc:  # noqa: BLE001
             self._fail(500, f"{type(exc).__name__}: {exc}")
 
     def do_DELETE(self) -> None:  # noqa: N802
+        self._t0 = time.perf_counter()
         try:
             prefix = "/jobs/"
             if self.path.startswith(prefix) and len(self.path) > len(prefix):
-                pending = self.service.submit(JobDeparted(self.path[len(prefix):]))
+                # The path arrives percent-encoded ("map%20reduce"); decode
+                # before touching state or names with spaces are undeletable.
+                name = unquote(self.path[len(prefix):])
+                if not self.service.has_job(name):
+                    self._fail(404, f"unknown job {name!r}")
+                    return
+                pending = self.service.submit(JobDeparted(name))
                 self._send(202, {"pending_events": pending})
             else:
                 self._fail(404, f"unknown path {self.path!r}")
+        except (StateError, ValueError) as exc:
+            self._fail(400, str(exc))
         except Exception as exc:  # noqa: BLE001
             self._fail(500, f"{type(exc).__name__}: {exc}")
 
@@ -233,7 +315,10 @@ def serve(service: AllocationService, host: str = "127.0.0.1", port: int = 8080,
     """Blocking entry point used by ``python -m repro.cli serve``."""
     with ServiceServer(service, host, port, quiet=quiet) as server:
         print(f"repro-amf service listening on http://{host}:{server.port}")
-        print("endpoints: GET /health /stats /jobs | POST /allocate /jobs /capacity | DELETE /jobs/<name>")
+        print(
+            "endpoints: GET /health /stats /metrics /traces /jobs | "
+            "POST /allocate /jobs /capacity | DELETE /jobs/<name>"
+        )
         try:
             server.serve_forever()
         except KeyboardInterrupt:  # pragma: no cover - interactive only

@@ -53,6 +53,7 @@ from repro.core.policies import PolicyFn, get_policy
 from repro.model.cluster import Cluster
 from repro.model.job import Job
 from repro.model.site import Site
+from repro.obs.tracing import TRACER, span
 from repro.sim.metrics import JobRecord, SimulationResult
 from repro.sim.trace import CapacityChange, FaultEvent, SimEvent, SiteFailure, SiteRecovery, Trace
 
@@ -330,7 +331,11 @@ class FluidSimulator:
 
             snapshot, names = self._snapshot(active, current_sites)
             if snapshot is not None:
-                alloc = self.policy(snapshot)
+                if TRACER.enabled:
+                    with span("sim.policy_solve", t=t, jobs=snapshot.n_jobs):
+                        alloc = self.policy(snapshot)
+                else:
+                    alloc = self.policy(snapshot)
                 result.n_policy_solves += 1
                 rates = {name: alloc.matrix[k] for k, name in enumerate(names)}
                 site_index = {s.name: j for j, s in enumerate(snapshot.sites)}

@@ -43,6 +43,11 @@ class TestCov:
     def test_empty_is_zero(self):
         assert coefficient_of_variation(np.array([])) == 0.0
 
+    def test_all_zero_is_zero(self):
+        # the degenerate-vector convention: all-zero reads as perfectly
+        # equal, consistent with jain_index/min_max_ratio (module docstring)
+        assert coefficient_of_variation(np.zeros(3)) == 0.0
+
 
 class TestMinMax:
     def test_equal_is_one(self):

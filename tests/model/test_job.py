@@ -39,6 +39,28 @@ class TestConstruction:
         with pytest.raises(ValueError, match="without workload"):
             Job("j", {"A": 1.0}, demand={"B": 1.0})
 
+    def test_rejects_non_finite_workload(self):
+        # inf satisfies `>= 0` but poisons every solver downstream; both
+        # inf and NaN must fail the finiteness check
+        for bad in (float("inf"), float("-inf"), float("nan")):
+            with pytest.raises(ValueError, match="finite"):
+                Job("j", {"A": bad})
+
+    def test_rejects_non_finite_demand(self):
+        for bad in (float("inf"), float("nan")):
+            with pytest.raises(ValueError, match="finite"):
+                Job("j", {"A": 1.0}, demand={"A": bad})
+
+    def test_rejects_non_finite_weight(self):
+        for bad in (float("inf"), float("nan")):
+            with pytest.raises(ValueError, match="weight"):
+                Job("j", {"A": 1.0}, weight=bad)
+
+    def test_rejects_non_finite_arrival(self):
+        for bad in (float("inf"), float("nan")):
+            with pytest.raises(ValueError, match="arrival"):
+                Job("j", {"A": 1.0}, arrival=bad)
+
     def test_workload_mapping_is_readonly(self):
         job = Job("j", {"A": 1.0})
         with pytest.raises(TypeError):

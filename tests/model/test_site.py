@@ -19,6 +19,11 @@ class TestSite:
         with pytest.raises(ValueError, match="positive"):
             Site("dc1", -1.0)
 
+    def test_rejects_non_finite_capacity(self):
+        for bad in (float("inf"), float("nan")):
+            with pytest.raises(ValueError, match="finite"):
+                Site("dc1", bad)
+
     def test_rejects_empty_name(self):
         with pytest.raises(ValueError, match="non-empty"):
             Site("", 1.0)

@@ -47,6 +47,25 @@ class TestHitMiss:
         assert hit.cluster is c2
         np.testing.assert_allclose(hit.aggregates, solve_amf(c2).aggregates)
 
+    def test_get_fingerprints_once_per_lookup(self):
+        # fingerprint() hashes the whole instance; a hit used to pay it
+        # twice (lookup + LRU touch)
+        cache = AllocationCache()
+        c = cluster_with_capacity(2.0)
+        cache.put(c, solve_amf(c))
+        calls = 0
+        real = type(c).fingerprint
+
+        class Counting(type(c)):
+            def fingerprint(self):
+                nonlocal calls
+                calls += 1
+                return real(self)
+
+        counting = Counting(list(c.sites), list(c.jobs))
+        assert cache.get(counting) is not None
+        assert calls == 1
+
     def test_returned_matrix_is_a_copy(self):
         cache = AllocationCache()
         c = cluster_with_capacity(2.0)

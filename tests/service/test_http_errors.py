@@ -1,0 +1,300 @@
+"""HTTP error paths: exact status codes, liveness after failures, the
+/metrics <-> /stats cross-check, and a wire-format round-trip property.
+
+Regression suite for two service-edge bugs: non-finite numbers slipping
+through validation (json.loads happily parses ``Infinity``/``NaN``
+literals), and ``DELETE /jobs/<name>`` neither URL-decoding the name nor
+distinguishing "unknown job" (404) from a server fault (500)."""
+
+import http.client
+import json
+import threading
+import urllib.error
+import urllib.request
+from urllib.parse import quote
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.job import Job
+from repro.model.site import Site
+from repro.obs.registry import REGISTRY, parse_prometheus
+from repro.obs.tracing import TRACER
+from repro.service.daemon import AllocationService
+from repro.service.http import MAX_BODY_BYTES, ServiceServer, job_from_dict
+from repro.service.state import ClusterState, StateError
+
+
+@pytest.fixture
+def server():
+    # fresh instrument totals so /metrics can be compared against /stats
+    REGISTRY.reset()
+    TRACER.clear()
+    state = ClusterState([Site("a", 2.0), Site("b", 3.0)])
+    service = AllocationService(state, max_delay=0.005)
+    srv = ServiceServer(service, port=0, quiet=True)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    thread.join(timeout=5)
+
+
+def call(srv, method: str, path: str, body: dict | None = None, raw: bytes | None = None):
+    url = f"http://127.0.0.1:{srv.port}{path}"
+    data = raw if raw is not None else (json.dumps(body).encode() if body is not None else None)
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def assert_alive(srv):
+    status, payload = call(srv, "GET", "/health")
+    assert status == 200 and payload["status"] == "ok"
+
+
+class TestMalformedBodies:
+    def test_invalid_json_400(self, server):
+        status, payload = call(server, "POST", "/jobs", raw=b"{not json")
+        assert status == 400 and "error" in payload
+        assert_alive(server)
+
+    def test_non_object_body_400(self, server):
+        status, payload = call(server, "POST", "/jobs", raw=b"[1, 2, 3]")
+        assert status == 400 and "object" in payload["error"]
+        assert_alive(server)
+
+    def test_non_numeric_workload_400(self, server):
+        status, payload = call(
+            server, "POST", "/jobs", {"name": "j", "workload": {"a": "lots"}}
+        )
+        assert status == 400 and "malformed job" in payload["error"]
+        assert_alive(server)
+
+    def test_workload_not_a_mapping_400(self, server):
+        status, _ = call(server, "POST", "/jobs", {"name": "j", "workload": [1.0]})
+        assert status == 400
+        assert_alive(server)
+
+
+class TestNonFiniteInputs:
+    """json.loads parses Infinity/NaN literals, so these reach the handler
+    as real floats and must be rejected there -- not crash the solver."""
+
+    @pytest.mark.parametrize("value", ["Infinity", "-Infinity", "NaN"])
+    def test_non_finite_workload_400(self, server, value):
+        raw = b'{"name": "j", "workload": {"a": %s}}' % value.encode()
+        status, payload = call(server, "POST", "/jobs", raw=raw)
+        assert status == 400 and "finite" in payload["error"]
+        assert_alive(server)
+
+    @pytest.mark.parametrize("field", ["weight", "arrival"])
+    def test_non_finite_scalar_fields_400(self, server, field):
+        raw = json.dumps({"name": "j", "workload": {"a": 1.0}, field: float("nan")}).encode()
+        status, _ = call(server, "POST", "/jobs", raw=raw)
+        assert status == 400
+        assert_alive(server)
+
+    @pytest.mark.parametrize("value", ["Infinity", "-Infinity", "NaN", "0.0", "-2.0"])
+    def test_bad_capacity_400(self, server, value):
+        raw = b'{"site": "a", "capacity": %s}' % value.encode()
+        status, payload = call(server, "POST", "/capacity", raw=raw)
+        assert status == 400 and "capacity" in payload["error"]
+        assert_alive(server)
+        # the bad value never reached the state
+        status, payload = call(server, "GET", "/health")
+        assert payload["sites"] == 2
+
+    def test_finite_capacity_still_accepted(self, server):
+        status, _ = call(server, "POST", "/capacity", {"site": "a", "capacity": 4.0})
+        assert status == 202
+
+
+class TestDeleteJob:
+    def test_url_encoded_name_round_trip(self, server):
+        """A job named "map reduce" must be deletable: the DELETE path
+        arrives percent-encoded and the handler must unquote it."""
+        call(server, "POST", "/allocate", {"name": "map reduce", "workload": {"a": 1.0}})
+        status, _ = call(server, "DELETE", "/jobs/" + quote("map reduce"))
+        assert status == 202
+        status, payload = call(server, "POST", "/allocate")
+        assert status == 200 and payload["jobs"] == {}
+
+    def test_unicode_name_round_trip(self, server):
+        name = "jöb/α"
+        call(server, "POST", "/allocate", {"name": name, "workload": {"b": 1.0}})
+        status, _ = call(server, "DELETE", "/jobs/" + quote(name, safe=""))
+        assert status == 202
+        status, payload = call(server, "POST", "/allocate")
+        assert payload["jobs"] == {}
+
+    def test_unknown_job_404(self, server):
+        status, payload = call(server, "DELETE", "/jobs/ghost")
+        assert status == 404 and "unknown job" in payload["error"]
+        assert_alive(server)
+
+    def test_queued_but_unflushed_job_is_deletable(self, server):
+        # the arrival may still be in the coalescing queue when the DELETE
+        # lands; has_job must see pending events, not answer 404
+        call(server, "POST", "/jobs", {"name": "q", "workload": {"a": 1.0}})
+        status, _ = call(server, "DELETE", "/jobs/q")
+        assert status == 202
+
+    def test_bare_jobs_path_404(self, server):
+        status, _ = call(server, "DELETE", "/jobs/")
+        assert status == 404
+        status, _ = call(server, "DELETE", "/jobs")
+        assert status == 404
+
+
+class TestUnknownRoutes:
+    @pytest.mark.parametrize("method,path", [
+        ("GET", "/nope"),
+        ("POST", "/nope"),
+        ("DELETE", "/nope"),
+        ("GET", "/jobs/x"),
+    ])
+    def test_404(self, server, method, path):
+        status, payload = call(server, method, path)
+        assert status == 404 and "error" in payload
+        assert_alive(server)
+
+
+class TestOversizedBody:
+    def test_content_length_over_limit_413(self, server):
+        # claim a huge body but never send it: the handler must refuse from
+        # the header alone instead of stalling on a 4 MiB read
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        try:
+            conn.putrequest("POST", "/jobs")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 413
+            payload = json.loads(resp.read().decode())
+            assert "exceeds" in payload["error"]
+            # the unread body poisons the connection; the server closes it
+            assert resp.headers.get("Connection", "").lower() == "close"
+        finally:
+            conn.close()
+        assert_alive(server)
+
+    def test_bad_content_length_400(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        try:
+            conn.putrequest("POST", "/jobs")
+            conn.putheader("Content-Length", "not-a-number")
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 400
+            resp.read()
+        finally:
+            conn.close()
+        assert_alive(server)
+
+
+class TestObservabilityEndpoints:
+    def test_metrics_parse_and_cross_check_stats(self, server):
+        """/metrics must be valid Prometheus text and its solver counters
+        must bit-match the daemon's own /stats diagnostics."""
+        call(server, "POST", "/allocate", {"name": "x", "workload": {"a": 1.0}})
+        call(server, "POST", "/allocate", {"name": "y", "workload": {"b": 2.0}})
+        _, stats = call(server, "GET", "/stats")
+
+        url = f"http://127.0.0.1:{server.port}/metrics"
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain; version=0.0.4")
+            samples = parse_prometheus(resp.read().decode())
+
+        inc = stats["incremental"]
+        assert inc["failures"] == 0
+        assert samples["repro_amf_solves_total"] == inc["solves"]
+        for diag_key, sample in [
+            ("rounds", "repro_amf_rounds_total"),
+            ("feasibility_solves", "repro_amf_feasibility_solves_total"),
+            ("probes_early_accept", "repro_flow_probes_early_accept_total"),
+            ("probes_cut_reject", "repro_flow_probes_cut_reject_total"),
+            ("probes_warm", "repro_flow_probes_warm_total"),
+            ("probes_cold", "repro_flow_probes_cold_total"),
+            ("cuts_generated", "repro_amf_cuts_generated_total"),
+            ("warm_cuts_seeded", "repro_amf_warm_cuts_seeded_total"),
+        ]:
+            assert samples[sample] == inc[diag_key], diag_key
+        cache = stats["cache"]
+        assert samples["repro_cache_hits_total"] == cache["hits"]
+        assert samples["repro_cache_misses_total"] == cache["misses"]
+        assert samples["repro_service_requests_total"] >= 3
+
+    def test_traces_serve_chrome_json(self, server):
+        call(server, "POST", "/allocate", {"name": "x", "workload": {"a": 1.0}})
+        status, doc = call(server, "GET", "/traces")
+        assert status == 200
+        names = {ev["name"] for ev in doc["traceEvents"]}
+        assert {"service.allocate", "amf.solve", "flow.probe"} <= names
+        probe_parents = {
+            ev["args"]["parent"] for ev in doc["traceEvents"] if ev["name"] == "flow.probe"
+        }
+        assert probe_parents == {"amf.solve"}
+
+    def test_errors_counted(self, server):
+        call(server, "GET", "/nope")
+        _, _ = call(server, "GET", "/health")
+        url = f"http://127.0.0.1:{server.port}/metrics"
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            samples = parse_prometheus(resp.read().decode())
+        assert samples["repro_service_errors_total"] >= 1
+
+
+# -- wire-format round-trip property -----------------------------------
+
+_names = st.text(min_size=1, max_size=20).filter(lambda s: s.strip())
+_values = st.floats(min_value=1e-3, max_value=1e9, allow_nan=False, allow_infinity=False)
+_workloads = st.dictionaries(_names, _values, min_size=1, max_size=4)
+
+
+def _wire_dict(job: Job) -> dict:
+    """Serialize like repro.model.serialize.cluster_to_dict's job entries."""
+    return {
+        "name": job.name,
+        "workload": dict(job.workload),
+        **({"demand": dict(job.demand)} if job.demand else {}),
+        **({"weight": job.weight} if job.weight != 1.0 else {}),
+        **({"arrival": job.arrival} if job.arrival != 0.0 else {}),
+    }
+
+
+class TestWireRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        name=_names,
+        workload=_workloads,
+        weight=_values,
+        arrival=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        data=st.data(),
+    )
+    def test_job_round_trips_through_wire_format(self, name, workload, weight, arrival, data):
+        demand_sites = data.draw(st.sets(st.sampled_from(sorted(workload))))
+        demand = {s: data.draw(_values) for s in sorted(demand_sites)}
+        job = Job(name, workload, demand, weight=weight, arrival=arrival)
+        # through JSON: exactly what POST /jobs would carry
+        rebuilt = job_from_dict(json.loads(json.dumps(_wire_dict(job))))
+        assert rebuilt.name == job.name
+        assert dict(rebuilt.workload) == dict(job.workload)
+        assert dict(rebuilt.demand) == dict(job.demand)
+        assert rebuilt.weight == job.weight and rebuilt.arrival == job.arrival
+
+    @settings(max_examples=25, deadline=None)
+    @given(workload=_workloads, bad=st.sampled_from([float("inf"), float("-inf"), float("nan")]))
+    def test_non_finite_workload_always_rejected(self, workload, bad):
+        site = sorted(workload)[0]
+        poisoned = dict(workload, **{site: bad})
+        with pytest.raises((StateError, ValueError)):
+            job_from_dict({"name": "j", "workload": poisoned})
