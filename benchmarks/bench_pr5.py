@@ -1,0 +1,215 @@
+"""Shard-decomposition benchmark: per-component AMF vs the monolithic solve.
+
+Standalone (no pytest) so CI and developers get one machine-readable
+artifact::
+
+    PYTHONPATH=src python benchmarks/bench_pr5.py --out BENCH_PR5.json
+
+Two stages:
+
+* ``decomposition`` — a block-diagonal cluster of K independent components
+  solved monolithically, sharded serially, and sharded with ``--workers``
+  fan-out.  Aggregates are asserted equal across all three; the headline
+  number is the sharded/monolithic speedup.  The cutting-plane solver's
+  cost is superlinear in component size (every feasibility probe is a
+  max-flow over the whole instance), so K small solves beat one coupled
+  solve even on a single core — fan-out stacks on top where cores exist.
+* ``service`` — churn confined to one component, through
+  :class:`IncrementalAmfSolver` with ``sharded=True`` vs the monolithic
+  solver: the sharded arm re-solves only the touched component and replays
+  the other K-1 matrices from the per-shard fingerprint cache.
+
+``--baseline BENCH_PR5.json`` turns the run into a regression gate on the
+*dimensionless* sharded/monolithic ratio of the decomposition stage
+(machine-speed independent): the process exits non-zero if the ratio
+regressed by more than ``--max-regression``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.amf import solve_amf  # noqa: E402
+from repro.core.sharding import decompose, solve_amf_sharded  # noqa: E402
+from repro.model.cluster import Cluster  # noqa: E402
+from repro.model.job import Job  # noqa: E402
+from repro.model.site import Site  # noqa: E402
+from repro.service.solver import IncrementalAmfSolver  # noqa: E402
+from repro.service.state import ClusterState, JobArrived, JobDeparted  # noqa: E402
+from repro.workload.generator import WorkloadSpec, generate_cluster  # noqa: E402
+
+
+def _scaled(n: int, scale: float, minimum: int = 2) -> int:
+    return max(minimum, int(round(n * scale)))
+
+
+def block_diagonal(
+    k: int, jobs_per_block: int, sites_per_block: int, rng: np.random.Generator
+) -> Cluster:
+    """K independent generated components glued into one cluster (site and
+    job names prefixed per block, so the components stay disconnected)."""
+    sites: list[Site] = []
+    jobs: list[Job] = []
+    for b in range(k):
+        sub = generate_cluster(
+            WorkloadSpec(n_jobs=jobs_per_block, n_sites=sites_per_block, theta=1.2), rng
+        )
+        rename = {s.name: f"b{b}.{s.name}" for s in sub.sites}
+        sites.extend(Site(rename[s.name], s.capacity) for s in sub.sites)
+        jobs.extend(
+            Job(
+                f"b{b}.{job.name}",
+                {rename[s]: w for s, w in job.workload.items()},
+                {rename[s]: d for s, d in job.demand.items()},
+                weight=job.weight,
+            )
+            for job in sub.jobs
+        )
+    return Cluster(tuple(sites), tuple(jobs))
+
+
+def stage_decomposition(scale: float, repeats: int, workers: int) -> dict:
+    """Monolithic vs sharded-serial vs sharded-fanned on one K-block cluster."""
+    k = 8
+    cluster = block_diagonal(
+        k, _scaled(25, scale, 3), _scaled(4, scale, 2), np.random.default_rng(0)
+    )
+    assert len(decompose(cluster)) == k
+
+    timings: dict[str, list[float]] = {"monolithic": [], "sharded_serial": [], "sharded_workers": []}
+    allocs = {}
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        allocs["monolithic"] = solve_amf(cluster)
+        timings["monolithic"].append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        allocs["sharded_serial"] = solve_amf_sharded(cluster, workers=None)
+        timings["sharded_serial"].append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        allocs["sharded_workers"] = solve_amf_sharded(cluster, workers=workers)
+        timings["sharded_workers"].append(time.perf_counter() - t0)
+    ref = allocs["monolithic"].aggregates
+    for arm in ("sharded_serial", "sharded_workers"):
+        np.testing.assert_allclose(allocs[arm].aggregates, ref, atol=1e-7, rtol=1e-7)
+    np.testing.assert_array_equal(
+        allocs["sharded_serial"].matrix, allocs["sharded_workers"].matrix
+    )
+
+    ms = {arm: 1e3 * min(ts) for arm, ts in timings.items()}
+    return {
+        "blocks": k,
+        "n_jobs": cluster.n_jobs,
+        "n_sites": cluster.n_sites,
+        "workers": workers,
+        "monolithic_ms": ms["monolithic"],
+        "sharded_serial_ms": ms["sharded_serial"],
+        "sharded_workers_ms": ms["sharded_workers"],
+        "speedup_serial": ms["monolithic"] / ms["sharded_serial"],
+        "speedup_workers": ms["monolithic"] / ms["sharded_workers"],
+        "ratio": ms["sharded_workers"] / ms["monolithic"],  # regression-gate metric
+    }
+
+
+def stage_service(scale: float, workers: int) -> dict:
+    """Churn confined to one block: per-shard caching vs monolithic re-solves."""
+    k = 8
+    rng = np.random.default_rng(1)
+    cluster = block_diagonal(k, _scaled(20, scale, 3), _scaled(4, scale, 2), rng)
+    churn_sites = sorted(decompose(cluster)[0].key)
+    n_events = _scaled(40, scale, 8)
+
+    out: dict = {}
+    for arm, sharded in (("monolithic", False), ("sharded", True)):
+        state = ClusterState(cluster.sites, cluster.jobs)
+        solver = IncrementalAmfSolver(sharded=sharded, workers=workers if sharded else None)
+        solver(state.snapshot())  # warm both arms with the full first solve
+        samples = []
+        for step in range(n_events):
+            # arrive/depart alternately, always inside block 0
+            if step % 2 == 0:
+                site = churn_sites[step % len(churn_sites)]
+                event = JobArrived(Job(f"churn{step}", {site: float(rng.uniform(0.2, 1.5))}))
+            else:
+                event = JobDeparted(f"churn{step - 1}")
+            applied, _ = state.apply_all([event])
+            if not applied:
+                continue
+            t0 = time.perf_counter()
+            alloc = solver(state.snapshot())
+            samples.append(time.perf_counter() - t0)
+        out[arm] = {
+            "solves": len(samples),
+            "p50_ms": 1e3 * statistics.median(samples),
+            "mean_ms": 1e3 * statistics.fmean(samples),
+            "shard_cache_hits": solver.stats.shard_cache_hits,
+            "shard_cache_misses": solver.stats.shard_cache_misses,
+        }
+        out[arm]["final_aggregates"] = [float(a) for a in np.sort(alloc.aggregates)]
+    np.testing.assert_allclose(
+        out["sharded"]["final_aggregates"], out["monolithic"]["final_aggregates"], atol=1e-7, rtol=1e-7
+    )
+    for arm in ("monolithic", "sharded"):
+        del out[arm]["final_aggregates"]
+    out["p50_speedup"] = out["monolithic"]["p50_ms"] / out["sharded"]["p50_ms"]
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", type=float, default=1.0, help="instance size scale")
+    ap.add_argument("--repeats", type=int, default=3, help="timed repeats (min is reported)")
+    ap.add_argument("--workers", type=int, default=4, help="fork fan-out for the fanned arm")
+    ap.add_argument("--out", default="BENCH_PR5.json", help="output JSON path")
+    ap.add_argument("--baseline", help="committed BENCH_PR5.json to gate against")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=1.5,
+        help="fail if the sharded/monolithic ratio exceeds baseline by this factor",
+    )
+    args = ap.parse_args(argv)
+
+    result = {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "stages": {
+            "decomposition": stage_decomposition(args.scale, args.repeats, args.workers),
+            "service": stage_service(args.scale, args.workers),
+        },
+    }
+    result["summary"] = {
+        "decomposition_speedup_serial": result["stages"]["decomposition"]["speedup_serial"],
+        "decomposition_speedup_workers": result["stages"]["decomposition"]["speedup_workers"],
+        "service_p50_speedup": result["stages"]["service"]["p50_speedup"],
+    }
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for stage, speedup in result["summary"].items():
+        print(f"  {stage}: {speedup:.2f}x")
+
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        base_ratio = baseline["stages"]["decomposition"]["ratio"]
+        fresh_ratio = result["stages"]["decomposition"]["ratio"]
+        limit = args.max_regression * base_ratio
+        print(
+            f"regression gate: sharded/monolithic ratio {fresh_ratio:.3f} "
+            f"vs baseline {base_ratio:.3f} (limit {limit:.3f})"
+        )
+        if fresh_ratio > limit:
+            print("FAIL: decomposition ratio regressed beyond the gate", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -114,7 +114,18 @@ def cmd_solve(args) -> int:
     else:
         cluster = generate_cluster(_spec(args), rng)
     tracing = _start_tracing(args)
-    alloc = get_policy(args.policy)(cluster)
+    if args.shards:
+        if args.policy != "amf":
+            print(f"--shards only applies to the amf policy, not {args.policy!r}", file=sys.stderr)
+            return 2
+        from repro.core.amf import solve_amf
+        from repro.core.sharding import decompose
+
+        alloc = solve_amf(cluster, shards=True, workers=args.solve_workers or None)
+        suffix = f", workers={args.solve_workers}" if args.solve_workers else ""
+        print(f"sharded solve: {len(decompose(cluster))} components{suffix}")
+    else:
+        alloc = get_policy(args.policy)(cluster)
     if tracing:
         _finish_tracing(args)
     print(alloc.pretty())
@@ -268,6 +279,8 @@ def cmd_serve(args) -> int:
         max_batch=args.max_batch,
         cache_size=args.cache_size,
         max_cuts=args.max_cuts,
+        sharded=not args.no_shards,
+        workers=args.serve_workers or None,
         observability=not args.no_obs,
     )
     serve(service, host=args.host, port=args.port, quiet=args.quiet)
@@ -309,6 +322,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--check", action="store_true", help="also run property checks")
     p_solve.add_argument("--load", metavar="JSON", help="solve a cluster loaded from a JSON file instead of generating one")
     p_solve.add_argument("--save", metavar="JSON", help="write the allocation (with cluster) to a JSON file")
+    p_solve.add_argument(
+        "--shards",
+        action="store_true",
+        help="solve connected components independently (amf only; identical allocation)",
+    )
+    p_solve.add_argument(
+        "--workers",
+        dest="solve_workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --shards, fan component solves over N processes (0 = serial)",
+    )
     _add_trace_arg(p_solve)
     p_solve.set_defaults(fn=cmd_solve)
 
@@ -360,6 +386,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--max-batch", type=int, default=256, help="max events coalesced into one re-solve")
     p_srv.add_argument("--cache-size", type=int, default=128, help="allocation cache entries (LRU)")
     p_srv.add_argument("--max-cuts", type=int, default=64, help="persistent cutting-plane pool bound")
+    p_srv.add_argument(
+        "--no-shards",
+        action="store_true",
+        help="solve monolithically instead of per connected component (docs/performance.md)",
+    )
+    p_srv.add_argument(
+        "--workers",
+        dest="serve_workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fan shard solves over N processes (0 = serial)",
+    )
     p_srv.add_argument("--quiet", action="store_true", help="suppress per-request access logs")
     p_srv.add_argument(
         "--no-obs",

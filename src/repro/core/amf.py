@@ -147,6 +147,15 @@ class CutBasis:
         while len(self._cuts) > self.max_cuts:
             self._cuts.popitem(last=False)
 
+    def sets(self) -> tuple[frozenset[str], ...]:
+        """Stored site-name sets, LRU order (oldest first).
+
+        The shard layer uses this to clone a basis into a fork-pool worker
+        and to fold a worker's discoveries back into the pooled basis
+        (:mod:`repro.core.sharding`).
+        """
+        return tuple(self._cuts)
+
     def instantiate(self, cluster: Cluster) -> list[frozenset[int]]:
         """Stored site sets as index sets on ``cluster`` (empty sets dropped)."""
         site_idx = {s.name: j for j, s in enumerate(cluster.sites)}
@@ -634,6 +643,9 @@ def solve_amf(
     diagnostics: AmfDiagnostics | None = None,
     basis: CutBasis | None = None,
     oracle: str = "parametric",
+    *,
+    shards: bool = False,
+    workers: int | None = None,
 ) -> Allocation:
     """Compute an AMF allocation (aggregates via :func:`amf_levels`, split via max-flow).
 
@@ -643,11 +655,23 @@ def solve_amf(
     the cutting-plane pool across related solves (see :class:`CutBasis`);
     ``oracle`` selects the feasibility backend (see :func:`amf_levels`).
 
+    ``shards=True`` solves each connected component of the job-site graph
+    independently and stitches the blocks — the same allocation at
+    component-local cost, optionally fanned out over ``workers`` processes
+    (see :mod:`repro.core.sharding`).  A monolithic ``basis`` does not
+    apply there; use :class:`repro.core.sharding.ShardBasisPool` via
+    :func:`~repro.core.sharding.solve_amf_sharded` for warm sharded solves.
+
     With the parametric oracle the realization is usually free: the final
     verification probe leaves the oracle's residual graph carrying a max
     flow at exactly ``levels``, so the matrix is read off that flow instead
     of re-solving a fresh network.
     """
+    if shards:
+        require(basis is None, "shards=True takes a ShardBasisPool via solve_amf_sharded, not basis=")
+        from repro.core.sharding import solve_amf_sharded
+
+        return solve_amf_sharded(cluster, floors, diagnostics, oracle=oracle, workers=workers)
     diag = diagnostics if diagnostics is not None else AmfDiagnostics()
     with _observed_solve("solve", cluster, diag):
         levels, adapter = _fill_levels(cluster, floors, diag, basis, oracle)

@@ -38,9 +38,18 @@ __all__ = [
     "SIM_STEP_SECONDS",
     "SIM_SIM_TIME_SECONDS",
     "SIM_ACTIVE_JOBS",
+    "SHARD_SOLVES",
+    "SHARD_COUNT",
+    "SHARD_JOBS",
+    "SHARD_SOLVE_SECONDS",
+    "SHARD_CACHE_HITS",
+    "SHARD_CACHE_MISSES",
     "record_amf",
     "record_cache",
     "record_queue_flush",
+    "record_shard_decomposition",
+    "record_shard_solve",
+    "record_shard_cache",
 ]
 
 # -- solver (repro.core.amf + repro.flownet.parametric) -----------------
@@ -97,6 +106,21 @@ SERVICE_SOLVE_SECONDS = REGISTRY.histogram(
     "repro_service_solve_seconds", "allocation pipeline latency on cache misses"
 )
 
+# -- shard decomposition (repro.core.sharding + service shard cache) ----
+SHARD_SOLVES = REGISTRY.counter("repro_shard_solves_total", "individual shard solves (job-bearing components)")
+SHARD_COUNT = REGISTRY.histogram(
+    "repro_shard_count", "connected components per sharded solve", start=1.0, factor=2.0, buckets=10
+)
+SHARD_JOBS = REGISTRY.histogram(
+    "repro_shard_jobs", "jobs per solved shard", start=1.0, factor=2.0, buckets=12
+)
+SHARD_SOLVE_SECONDS = REGISTRY.histogram("repro_shard_solve_seconds", "per-shard solve latency")
+# Deliberately distinct from repro_cache_*: those bit-match the service
+# AllocationCache stats (/metrics vs /stats cross-check); these count the
+# per-shard matrix cache inside the sharded incremental solver.
+SHARD_CACHE_HITS = REGISTRY.counter("repro_shard_cache_hits_total", "shard matrix cache hits")
+SHARD_CACHE_MISSES = REGISTRY.counter("repro_shard_cache_misses_total", "shard matrix cache misses")
+
 # -- simulator ----------------------------------------------------------
 SIM_STEPS = REGISTRY.counter("repro_sim_steps_total", "simulator intervals observed")
 SIM_STEP_SECONDS = REGISTRY.histogram(
@@ -141,3 +165,26 @@ def record_queue_flush(batch_size: int, seconds: float) -> None:
     QUEUE_BATCHES.inc()
     QUEUE_EVENTS.inc(batch_size)
     QUEUE_FLUSH_SECONDS.observe(seconds)
+
+
+def record_shard_decomposition(n_shards: int) -> None:
+    if not REGISTRY.enabled:
+        return
+    SHARD_COUNT.observe(n_shards)
+
+
+def record_shard_solve(n_jobs: int, seconds: float) -> None:
+    if not REGISTRY.enabled:
+        return
+    SHARD_SOLVES.inc()
+    SHARD_JOBS.observe(n_jobs)
+    SHARD_SOLVE_SECONDS.observe(seconds)
+
+
+def record_shard_cache(*, hits: int = 0, misses: int = 0) -> None:
+    if not REGISTRY.enabled:
+        return
+    if hits:
+        SHARD_CACHE_HITS.inc(hits)
+    if misses:
+        SHARD_CACHE_MISSES.inc(misses)

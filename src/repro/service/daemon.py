@@ -34,7 +34,7 @@ from repro.model.cluster import Cluster
 from repro.obs import instruments
 from repro.obs.registry import REGISTRY
 from repro.obs.tracing import TRACER, span
-from repro.service.batching import CoalescingQueue
+from repro.service.batching import CoalescingQueue, coalesce_batch
 from repro.service.cache import AllocationCache
 from repro.service.solver import IncrementalAmfSolver
 from repro.service.state import ClusterEvent, ClusterState, JobArrived
@@ -73,6 +73,14 @@ class AllocationService:
     fallbacks:
         The chain behind the incremental solver (default: cold AMF, then
         per-site max-min; proportional is always the implicit last rung).
+    sharded:
+        Solve connected components of the job-site graph independently with
+        per-shard warm bases and a per-shard matrix cache (see
+        :class:`~repro.service.solver.IncrementalAmfSolver`).  On by
+        default: a delta then re-solves only the component it touches.
+    workers:
+        Fork-pool fan-out for shard solves (``None`` = serial).  The
+        allocation is identical under any worker count.
     clock:
         Injectable monotone clock (virtual time in tests/benchmarks).
     observability:
@@ -92,6 +100,8 @@ class AllocationService:
         cache_size: int = 128,
         max_cuts: int = 64,
         fallbacks: Sequence[str | PolicyFn] = ("amf", "psmf"),
+        sharded: bool = True,
+        workers: int | None = None,
         clock: Callable[[], float] = time.monotonic,
         observability: bool = True,
     ):
@@ -102,7 +112,8 @@ class AllocationService:
         self.state = state
         self.queue = CoalescingQueue(max_delay=max_delay, max_batch=max_batch, clock=clock)
         self.cache = AllocationCache(max_entries=cache_size)
-        self.incremental = IncrementalAmfSolver(max_cuts=max_cuts)
+        self.incremental = IncrementalAmfSolver(max_cuts=max_cuts, sharded=sharded, workers=workers)
+        self._last_touched_sites: frozenset[str] | None = frozenset()
         self.resilience = ResilienceStats()
         self.policy = ResilientPolicy(self.incremental, fallbacks, stats=self.resilience)
         self.solve_stats = SolveStats()
@@ -144,11 +155,21 @@ class AllocationService:
             if not batch:
                 return 0
             t0 = time.perf_counter()
-            applied, rejected = self.state.apply_all(batch)
+            version_before = self.state.version
+            # Net-effect folding: only the surviving deltas hit the state,
+            # so untouched shards keep their fingerprints (and their cached
+            # matrices); fold-time rejections replicate what sequential
+            # application would have logged.
+            events, folded, fold_rejected = coalesce_batch(
+                batch, has_job=self.state.has_job, known_sites=self.state.site_names
+            )
+            self.queue.stats.folded += folded
+            applied, rejected = self.state.apply_all(events)
+            self._last_touched_sites = self.state.touched_sites_since(version_before)
             instruments.record_queue_flush(len(batch), time.perf_counter() - t0)
             if REGISTRY.enabled:
                 instruments.QUEUE_DEPTH.set(len(self.queue))
-            for message in rejected:
+            for message in (*fold_rejected, *rejected):
                 if len(self.rejections) < self.max_rejections:
                     self.rejections.append(message)
             return applied
@@ -171,6 +192,16 @@ class AllocationService:
             return any(
                 isinstance(ev, JobArrived) and ev.job.name == name for ev in self.queue.peek()
             )
+
+    def pending_job_names(self) -> list[str]:
+        """Names of jobs queued to arrive but not yet applied, in arrival
+        order (``GET /v1/jobs?status=pending`` reads this)."""
+        with self._lock:
+            names: list[str] = []
+            for ev in self.queue.peek():
+                if isinstance(ev, JobArrived) and ev.job.name not in names:
+                    names.append(ev.job.name)
+            return names
 
     def seconds_until_due(self) -> float | None:
         with self._lock:
@@ -258,9 +289,25 @@ class AllocationService:
                 "batching": {
                     "batches": self.queue.stats.batches,
                     "coalesced_events": self.queue.stats.events,
+                    "folded_events": self.queue.stats.folded,
                     "mean_batch": self.queue.stats.mean_batch,
                     "max_batch": self.queue.stats.max_batch,
                     "max_delay": self.queue.max_delay,
+                },
+                "sharding": {
+                    "enabled": self.incremental.sharded,
+                    "workers": self.incremental.workers,
+                    "last_shards": inc.last_shards,
+                    "shard_solves": inc.shard_solves,
+                    "shard_cache_hits": inc.shard_cache_hits,
+                    "shard_cache_misses": inc.shard_cache_misses,
+                    "shard_cache_entries": self.incremental.shard_cache_entries,
+                    "shard_bases": len(self.incremental.bases),
+                    "last_touched_sites": (
+                        None
+                        if self._last_touched_sites is None
+                        else sorted(self._last_touched_sites)
+                    ),
                 },
                 "resilience": {
                     "solves": self.resilience.solves,

@@ -1,55 +1,78 @@
-"""Stdlib HTTP/JSON front-end for the allocation daemon.
+"""Stdlib HTTP/JSON front-end for the allocation daemon — the v1 API.
 
 No web framework — ``http.server.ThreadingHTTPServer`` plus ``json`` is
 all the service needs, which keeps the dependency footprint identical to
-the rest of the library.  Endpoints (all JSON):
+the rest of the library.  All endpoints live under ``/v1/``; the
+unversioned paths of the original API still answer identically but are
+*deprecated aliases*: every response through one carries
+``Deprecation: true`` and a ``Link: </v1/...>; rel="successor-version"``
+header.  Endpoints (all JSON):
 
-``GET /health``
+``GET /v1/health``
     Liveness: library version, state shape, pending events.
-``GET /stats``
-    Full counter dump (solver timings, cache, batching, resilience).
-``GET /metrics``
+``GET /v1/stats``
+    Full counter dump (solver timings, cache, batching, sharding,
+    resilience).
+``GET /v1/metrics``
     Prometheus text exposition of the :mod:`repro.obs` registry.
-``GET /traces``
+``GET /v1/traces``
     Recent trace spans as Chrome-trace JSON (load in ``chrome://tracing``).
-``GET /jobs``
-    Jobs currently in the state with their aggregate allocations.
-``POST /jobs``
+``GET /v1/spec``
+    Machine-readable API description (routes, schemas, error codes —
+    :data:`repro.service.schema.API_SPEC`).  v1-only: no legacy alias.
+``GET /v1/jobs``
+    Jobs with their aggregate allocations.  Paginated: ``limit`` (default
+    100, max 1000), ``offset`` (default 0) and a ``status`` filter
+    (``active`` jobs in the state — the default, ``pending`` arrivals
+    still in the queue, or ``all``).
+``POST /v1/jobs``
     Body = one job object (``{"name", "workload", "demand"?, "weight"?}``)
     or ``{"jobs": [...]}``.  Queues arrivals; returns pending count.
-``DELETE /jobs/<name>``
+``DELETE /v1/jobs/<name>``
     Queues a departure (the name is URL-decoded; unknown jobs are 404).
-``POST /capacity``
+``POST /v1/capacity``
     Body ``{"site": str, "capacity": float}``.  Queues a capacity change.
-``POST /allocate``
+``POST /v1/allocate``
     Optional body with ``"jobs"`` to queue first; forces the pending batch
     to apply and returns the (possibly cached) allocation with solver
     provenance.
 
-Error mapping (the full table lives in docs/service.md): invalid input —
-bad JSON, missing fields, non-finite numbers — is 400; unknown paths and
-unknown job names are 404; request bodies over ``MAX_BODY_BYTES`` are 413;
-anything else is a 500 with the exception class in the payload.
+Request parsing is owned by the typed schema layer
+(:mod:`repro.service.schema`); every error path answers the uniform
+envelope ``{"error": {"code", "message", "detail"}}``: ``bad_request``
+(400) for malformed JSON, schema violations or non-finite numbers,
+``not_found`` (404) for unknown paths and job names,
+``payload_too_large`` (413) above :data:`MAX_BODY_BYTES`, ``internal``
+(500) for anything else.  The full table lives in docs/api.md.
 
 A daemon thread flushes the coalescing queue every ``max_delay``, so
-arrivals POSTed without a follow-up ``/allocate`` still land in the state.
+arrivals POSTed without a follow-up ``/v1/allocate`` still land in the
+state.
 """
 
 from __future__ import annotations
 
 import json
-import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
-from urllib.parse import unquote
+from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro.model.job import Job
 from repro.obs import instruments
 from repro.obs.registry import REGISTRY
 from repro.obs.tracing import TRACER
 from repro.service.daemon import AllocationService
+from repro.service.schema import (
+    API_SPEC,
+    AllocateRequest,
+    CapacitySpec,
+    JobsQuery,
+    JobSpec,
+    SchemaError,
+    error_envelope,
+)
 from repro.service.state import CapacityChanged, JobArrived, JobDeparted, StateError
 
 __all__ = ["job_from_dict", "ServiceServer", "serve", "MAX_BODY_BYTES"]
@@ -57,6 +80,10 @@ __all__ = ["job_from_dict", "ServiceServer", "serve", "MAX_BODY_BYTES"]
 #: Largest accepted request body; anything above is refused with 413
 #: before a byte is read (a liveness guard, not a protocol limit).
 MAX_BODY_BYTES = 4 << 20
+
+#: Legacy (unversioned) paths that alias a ``/v1`` route and therefore
+#: answer with the deprecation headers.  ``/v1/spec`` has no alias.
+_ALIASED = frozenset({"/health", "/stats", "/metrics", "/traces", "/jobs", "/allocate", "/capacity"})
 
 
 class _PayloadTooLarge(Exception):
@@ -67,22 +94,12 @@ def job_from_dict(data: dict[str, Any]) -> Job:
     """Build a :class:`Job` from the wire format (same field names as
     :mod:`repro.model.serialize`).
 
-    Malformed shapes (non-mapping workload/demand, non-numeric values) and
-    non-finite numbers raise :class:`StateError` / :class:`ValueError`, both
-    of which the HTTP layer maps to 400.
+    Thin wrapper over :meth:`repro.service.schema.JobSpec.from_json`, kept
+    as the stable library entry point.  Malformed shapes raise
+    :class:`~repro.service.schema.SchemaError` and invalid values
+    :class:`ValueError` — the HTTP layer maps both to 400.
     """
-    if not isinstance(data, dict) or "name" not in data or "workload" not in data:
-        raise StateError("job object needs at least 'name' and 'workload'")
-    try:
-        workload = {str(k): float(v) for k, v in dict(data["workload"]).items()}
-        demand = {str(k): float(v) for k, v in dict(data.get("demand", {})).items()}
-        weight = float(data.get("weight", 1.0))
-        arrival = float(data.get("arrival", 0.0))
-    except (TypeError, ValueError) as exc:
-        raise StateError(f"malformed job object: {exc}") from exc
-    # Job.__post_init__ validates values (finite, non-negative, ...) and
-    # raises ValueError, which the HTTP layer also answers with 400.
-    return Job(str(data["name"]), workload, demand, weight=weight, arrival=arrival)
+    return JobSpec.from_json(data).to_job()
 
 
 def _allocation_payload(served) -> dict[str, Any]:
@@ -123,10 +140,31 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     # -- plumbing ------------------------------------------------------
+    def _route(self) -> tuple[str, dict[str, str]]:
+        """Split the request into a version-free route plus query params.
+
+        ``/v1/...`` is the canonical surface; a known unversioned path is
+        the deprecated alias of the same route and marks the response for
+        the ``Deprecation``/``Link`` header pair.
+        """
+        parts = urlsplit(self.path)
+        query = dict(parse_qsl(parts.query, keep_blank_values=True))
+        path = parts.path
+        if path == "/v1" or path.startswith("/v1/"):
+            self._versioned = True
+            return path[3:] or "/", query
+        if path in _ALIASED or path.startswith("/jobs/"):
+            self._deprecation = f"/v1{path}"
+        return path, query
+
     def _send_raw(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        deprecation = getattr(self, "_deprecation", None)
+        if deprecation:
+            self.send_header("Deprecation", "true")
+            self.send_header("Link", f'<{deprecation}>; rel="successor-version"')
         if self.close_connection:
             # e.g. after a 413 whose body was never read: tell the client
             # instead of silently dropping the keep-alive socket
@@ -156,17 +194,23 @@ class _Handler(BaseHTTPRequestHandler):
         raw = self.rfile.read(length)
         data = json.loads(raw.decode())
         if not isinstance(data, dict):
-            raise StateError("request body must be a JSON object")
+            raise SchemaError("request body must be a JSON object")
         return data
 
-    def _fail(self, status: int, message: str) -> None:
-        self._send(status, {"error": message})
+    def _fail(self, status: int, code: str, message: str, detail: Any = None) -> None:
+        self._send(status, error_envelope(code, message, detail))
+
+    def _begin(self) -> None:
+        self._t0 = time.perf_counter()
+        self._deprecation: str | None = None
+        self._versioned = False
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        self._t0 = time.perf_counter()
+        self._begin()
         try:
-            if self.path == "/metrics":
+            route, query = self._route()
+            if route == "/metrics":
                 if REGISTRY.enabled:
                     instruments.QUEUE_DEPTH.set(self.service.pending())
                 self._send_raw(
@@ -174,9 +218,9 @@ class _Handler(BaseHTTPRequestHandler):
                     REGISTRY.render_prometheus().encode(),
                     "text/plain; version=0.0.4; charset=utf-8",
                 )
-            elif self.path == "/traces":
+            elif route == "/traces":
                 self._send_raw(200, json.dumps(TRACER.to_chrome()).encode(), "application/json")
-            elif self.path == "/health":
+            elif route == "/health":
                 import repro
 
                 stats = self.service.stats()
@@ -190,80 +234,105 @@ class _Handler(BaseHTTPRequestHandler):
                         "pending_events": stats["state"]["pending_events"],
                     },
                 )
-            elif self.path == "/stats":
+            elif route == "/stats":
                 self._send(200, self.service.stats())
-            elif self.path == "/jobs":
-                served = self.service.allocation(fresh=False)
-                self._send(200, _allocation_payload(served))
+            elif route == "/spec" and self._versioned:
+                self._send(200, API_SPEC)
+            elif route == "/jobs":
+                self._send(200, self._jobs_listing(JobsQuery.from_query(query)))
             else:
-                self._fail(404, f"unknown path {self.path!r}")
+                self._fail(404, "not_found", f"unknown path {self.path!r}")
+        except SchemaError as exc:
+            self._fail(400, "bad_request", str(exc))
         except Exception as exc:  # noqa: BLE001 - surfaced to the client
-            self._fail(500, f"{type(exc).__name__}: {exc}")
+            self._fail(500, "internal", f"{type(exc).__name__}: {exc}")
 
     def do_POST(self) -> None:  # noqa: N802
-        self._t0 = time.perf_counter()
+        self._begin()
         try:
+            route, _ = self._route()
             body = self._body()
-            if self.path == "/allocate":
-                queued = self._queue_jobs(body)
+            if route == "/allocate":
+                queued = self._queue_jobs(AllocateRequest.from_json(body))
                 served = self.service.allocation(fresh=True)
                 payload = _allocation_payload(served)
                 payload["queued_jobs"] = queued
                 self._send(200, payload)
-            elif self.path == "/jobs":
-                queued = self._queue_jobs(body, require_jobs=True)
+            elif route == "/jobs":
+                queued = self._queue_jobs(AllocateRequest.from_json(body, require_jobs=True))
                 self._send(202, {"queued_jobs": queued, "pending_events": self.service.pending()})
-            elif self.path == "/capacity":
-                if "site" not in body or "capacity" not in body:
-                    raise StateError("body needs 'site' and 'capacity'")
-                capacity = float(body["capacity"])
+            elif route == "/capacity":
                 # Validated here, not at flush time: the queue applies
                 # batches asynchronously, so a bad value rejected there
                 # would only surface as a silent rejection-log entry.
                 # json.loads happily parses the Infinity/NaN literals.
-                if not (math.isfinite(capacity) and capacity > 0.0):
-                    raise StateError(f"capacity must be positive and finite, got {capacity}")
-                pending = self.service.submit(CapacityChanged(str(body["site"]), capacity))
+                spec = CapacitySpec.from_json(body)
+                pending = self.service.submit(CapacityChanged(spec.site, spec.capacity))
                 self._send(202, {"pending_events": pending})
             else:
-                self._fail(404, f"unknown path {self.path!r}")
+                self._fail(404, "not_found", f"unknown path {self.path!r}")
         except _PayloadTooLarge as exc:
             # The oversized body was never read off the socket; close the
             # connection rather than let keep-alive parse it as a request.
             self.close_connection = True
-            self._fail(413, str(exc))
-        except (StateError, ValueError, json.JSONDecodeError) as exc:
-            self._fail(400, str(exc))
+            self._fail(413, "payload_too_large", str(exc))
+        except (SchemaError, StateError, ValueError, json.JSONDecodeError) as exc:
+            self._fail(400, "bad_request", str(exc))
         except Exception as exc:  # noqa: BLE001
-            self._fail(500, f"{type(exc).__name__}: {exc}")
+            self._fail(500, "internal", f"{type(exc).__name__}: {exc}")
 
     def do_DELETE(self) -> None:  # noqa: N802
-        self._t0 = time.perf_counter()
+        self._begin()
         try:
+            route, _ = self._route()
             prefix = "/jobs/"
-            if self.path.startswith(prefix) and len(self.path) > len(prefix):
+            if route.startswith(prefix) and len(route) > len(prefix):
                 # The path arrives percent-encoded ("map%20reduce"); decode
                 # before touching state or names with spaces are undeletable.
-                name = unquote(self.path[len(prefix):])
+                name = unquote(route[len(prefix):])
                 if not self.service.has_job(name):
-                    self._fail(404, f"unknown job {name!r}")
+                    self._fail(404, "not_found", f"unknown job {name!r}")
                     return
                 pending = self.service.submit(JobDeparted(name))
                 self._send(202, {"pending_events": pending})
             else:
-                self._fail(404, f"unknown path {self.path!r}")
-        except (StateError, ValueError) as exc:
-            self._fail(400, str(exc))
+                self._fail(404, "not_found", f"unknown path {self.path!r}")
+        except (SchemaError, StateError, ValueError) as exc:
+            self._fail(400, "bad_request", str(exc))
         except Exception as exc:  # noqa: BLE001
-            self._fail(500, f"{type(exc).__name__}: {exc}")
+            self._fail(500, "internal", f"{type(exc).__name__}: {exc}")
 
-    def _queue_jobs(self, body: dict[str, Any], *, require_jobs: bool = False) -> list[str]:
-        entries = body.get("jobs")
-        if entries is None:
-            entries = [body] if "name" in body else []
-        if require_jobs and not entries:
-            raise StateError("body needs a job object or a 'jobs' list")
-        jobs = [job_from_dict(entry) for entry in entries]
+    # -- helpers -------------------------------------------------------
+    def _jobs_listing(self, q: JobsQuery) -> dict[str, Any]:
+        """``GET /v1/jobs``: the allocation payload with a paginated,
+        status-filtered ``jobs`` mapping (see :class:`JobsQuery`)."""
+        served = self.service.allocation(fresh=False)
+        payload = _allocation_payload(served)
+        active = payload["jobs"]
+        for entry in active.values():
+            entry["status"] = "active"
+        items: list[tuple[str, dict[str, Any]]] = []
+        if q.status in ("active", "all"):
+            items.extend(active.items())
+        if q.status in ("pending", "all"):
+            items.extend(
+                (name, {"status": "pending"})
+                for name in self.service.pending_job_names()
+                if name not in active
+            )
+        page = items[q.offset : q.offset + q.limit]
+        payload["jobs"] = dict(page)
+        payload["pagination"] = {
+            "limit": q.limit,
+            "offset": q.offset,
+            "total": len(items),
+            "returned": len(page),
+            "status": q.status,
+        }
+        return payload
+
+    def _queue_jobs(self, request: AllocateRequest) -> list[str]:
+        jobs = [spec.to_job() for spec in request.jobs]
         for job in jobs:
             self.service.submit(JobArrived(job))
         return [job.name for job in jobs]
@@ -316,8 +385,9 @@ def serve(service: AllocationService, host: str = "127.0.0.1", port: int = 8080,
     with ServiceServer(service, host, port, quiet=quiet) as server:
         print(f"repro-amf service listening on http://{host}:{server.port}")
         print(
-            "endpoints: GET /health /stats /metrics /traces /jobs | "
-            "POST /allocate /jobs /capacity | DELETE /jobs/<name>"
+            "endpoints: GET /v1/health /v1/stats /v1/metrics /v1/traces /v1/jobs /v1/spec | "
+            "POST /v1/allocate /v1/jobs /v1/capacity | DELETE /v1/jobs/<name> "
+            "(unversioned aliases deprecated)"
         )
         try:
             server.serve_forever()

@@ -1,0 +1,306 @@
+"""Typed wire schema for the v1 control-plane API.
+
+One place defines what travels over HTTP: frozen dataclasses with
+validating ``from_json`` constructors and symmetric ``to_json`` dumps,
+replacing the ad-hoc dict parsing the front-end grew organically.  The
+HTTP layer (:mod:`repro.service.http`) maps :class:`SchemaError` to a 400
+with the uniform error envelope; nothing schema-shaped is parsed anywhere
+else.
+
+The machine-readable counterpart is :data:`API_SPEC`, served verbatim at
+``GET /v1/spec``: every route, its request schema and its response fields,
+plus the versioning/deprecation policy — a client can discover the whole
+surface without reading docs/api.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.model.job import Job
+
+__all__ = [
+    "SchemaError",
+    "JobSpec",
+    "CapacitySpec",
+    "AllocateRequest",
+    "JobsQuery",
+    "error_envelope",
+    "API_SPEC",
+]
+
+#: ``GET /v1/jobs`` pagination bounds (documented in docs/api.md).
+DEFAULT_LIMIT = 100
+MAX_LIMIT = 1000
+JOB_STATUSES = ("active", "pending", "all")
+
+
+class SchemaError(ValueError):
+    """A request body or query string that does not match the v1 schema."""
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise SchemaError(message)
+
+
+def _number(value: Any, what: str) -> float:
+    """A finite float, rejecting bools (JSON ``true`` is not a number)."""
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool), f"{what} must be a number")
+    out = float(value)
+    _require(math.isfinite(out), f"{what} must be finite, got {out}")
+    return out
+
+
+def _site_map(value: Any, what: str) -> dict[str, float]:
+    _require(isinstance(value, Mapping), f"{what} must be an object of site -> number")
+    return {str(k): _number(v, f"{what}[{k!r}]") for k, v in value.items()}
+
+
+@dataclass(frozen=True, slots=True)
+class JobSpec:
+    """Wire form of one job (``POST /v1/jobs`` / ``POST /v1/allocate``)."""
+
+    name: str
+    workload: dict[str, float]
+    demand: dict[str, float] = field(default_factory=dict)
+    weight: float = 1.0
+    arrival: float = 0.0
+
+    @classmethod
+    def from_json(cls, data: Any) -> "JobSpec":
+        _require(isinstance(data, Mapping), "job must be a JSON object")
+        _require("name" in data and "workload" in data, "job object needs at least 'name' and 'workload'")
+        unknown = set(data) - {"name", "workload", "demand", "weight", "arrival"}
+        _require(not unknown, f"job object has unknown fields {sorted(unknown)}")
+        name = data["name"]
+        _require(isinstance(name, str) and bool(name), "job 'name' must be a non-empty string")
+        try:
+            return cls(
+                name=name,
+                workload=_site_map(data["workload"], "workload"),
+                demand=_site_map(data.get("demand", {}), "demand"),
+                weight=_number(data.get("weight", 1.0), "weight"),
+                arrival=_number(data.get("arrival", 0.0), "arrival"),
+            )
+        except SchemaError as exc:
+            raise SchemaError(f"malformed job object: {exc}") from exc
+
+    def to_job(self) -> Job:
+        """Build the model object (its validation — positivity, demand only
+        on support — still applies and also maps to 400)."""
+        return Job(self.name, self.workload, self.demand, weight=self.weight, arrival=self.arrival)
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"name": self.name, "workload": dict(self.workload)}
+        if self.demand:
+            out["demand"] = dict(self.demand)
+        if self.weight != 1.0:
+            out["weight"] = self.weight
+        if self.arrival != 0.0:
+            out["arrival"] = self.arrival
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class CapacitySpec:
+    """Wire form of ``POST /v1/capacity``."""
+
+    site: str
+    capacity: float
+
+    @classmethod
+    def from_json(cls, data: Any) -> "CapacitySpec":
+        _require(isinstance(data, Mapping), "body must be a JSON object")
+        _require("site" in data and "capacity" in data, "body needs 'site' and 'capacity'")
+        capacity = _number(data["capacity"], "capacity")
+        _require(capacity > 0.0, f"capacity must be positive and finite, got {capacity}")
+        return cls(site=str(data["site"]), capacity=capacity)
+
+    def to_json(self) -> dict[str, Any]:
+        return {"site": self.site, "capacity": self.capacity}
+
+
+@dataclass(frozen=True, slots=True)
+class AllocateRequest:
+    """Wire form of ``POST /v1/allocate``: jobs to queue before solving.
+
+    Accepts ``{"jobs": [job, ...]}``, a bare job object, or an empty body
+    (allocate whatever the state holds).
+    """
+
+    jobs: tuple[JobSpec, ...] = ()
+
+    @classmethod
+    def from_json(cls, data: Any, *, require_jobs: bool = False) -> "AllocateRequest":
+        _require(isinstance(data, Mapping), "request body must be a JSON object")
+        entries = data.get("jobs")
+        if entries is None:
+            entries = [data] if "name" in data else []
+        _require(isinstance(entries, list), "'jobs' must be a list of job objects")
+        if require_jobs:
+            _require(bool(entries), "body needs a job object or a 'jobs' list")
+        return cls(jobs=tuple(JobSpec.from_json(entry) for entry in entries))
+
+
+@dataclass(frozen=True, slots=True)
+class JobsQuery:
+    """Validated query string of ``GET /v1/jobs``."""
+
+    limit: int = DEFAULT_LIMIT
+    offset: int = 0
+    status: str = "active"
+
+    @classmethod
+    def from_query(cls, params: Mapping[str, str]) -> "JobsQuery":
+        unknown = set(params) - {"limit", "offset", "status"}
+        _require(not unknown, f"unknown query parameters {sorted(unknown)}")
+
+        def _int(key: str, default: int) -> int:
+            raw = params.get(key)
+            if raw is None:
+                return default
+            try:
+                return int(raw)
+            except ValueError:
+                raise SchemaError(f"'{key}' must be an integer, got {raw!r}") from None
+
+        limit = _int("limit", DEFAULT_LIMIT)
+        _require(1 <= limit <= MAX_LIMIT, f"'limit' must be in 1..{MAX_LIMIT}, got {limit}")
+        offset = _int("offset", 0)
+        _require(offset >= 0, f"'offset' must be non-negative, got {offset}")
+        status = params.get("status", "active")
+        _require(status in JOB_STATUSES, f"'status' must be one of {list(JOB_STATUSES)}, got {status!r}")
+        return cls(limit=limit, offset=offset, status=status)
+
+
+def error_envelope(code: str, message: str, detail: Any = None) -> dict[str, Any]:
+    """The uniform v1 error body: ``{"error": {code, message, detail}}``."""
+    return {"error": {"code": code, "message": message, "detail": detail}}
+
+
+_JOB_FIELDS = {
+    "name": "string (required, non-empty, unique)",
+    "workload": "object site -> finite number >= 0 (required, >= 1 positive entry)",
+    "demand": "object site -> finite number >= 0 (optional; only on workload sites)",
+    "weight": "finite number > 0 (optional, default 1.0)",
+    "arrival": "finite number >= 0 (optional, default 0.0)",
+}
+
+_ALLOCATION_FIELDS = {
+    "policy": "string — solver that produced the matrix",
+    "cached": "bool — replayed from the allocation cache",
+    "solve_ms": "number — solve wall time (0 on a cache hit)",
+    "version": "int — state version the allocation reflects",
+    "fingerprint": "string — canonical cluster fingerprint",
+    "jobs": "object name -> {aggregate, shares: {site: number}}",
+    "site_usage": "object site -> allocated capacity",
+    "utilization": "number — total usage / total capacity",
+}
+
+#: Served verbatim at ``GET /v1/spec``.
+API_SPEC: dict[str, Any] = {
+    "api_version": "v1",
+    "versioning": {
+        "policy": (
+            "All endpoints live under /v1/. Unversioned paths are deprecated aliases: "
+            "they answer identically but carry 'Deprecation: true' and a "
+            "'Link: </v1/...>; rel=\"successor-version\"' header, and will be removed "
+            "in the release after next. Breaking changes only ever ship as /v2/."
+        ),
+        "legacy_aliases": True,
+    },
+    "error_envelope": {
+        "shape": {"error": {"code": "string", "message": "string", "detail": "any | null"}},
+        "codes": {
+            "bad_request": "400 — malformed JSON, schema violation, non-finite number",
+            "not_found": "404 — unknown path or unknown job name",
+            "payload_too_large": "413 — request body above the size limit",
+            "internal": "500 — unexpected server fault (class name in message)",
+        },
+    },
+    "pagination": {
+        "limit": {"default": DEFAULT_LIMIT, "min": 1, "max": MAX_LIMIT},
+        "offset": {"default": 0, "min": 0},
+        "status": {"default": "active", "values": list(JOB_STATUSES)},
+    },
+    "schemas": {
+        "JobSpec": _JOB_FIELDS,
+        "CapacitySpec": {"site": "string (required)", "capacity": "finite number > 0 (required)"},
+        "Allocation": _ALLOCATION_FIELDS,
+    },
+    "routes": [
+        {
+            "method": "GET",
+            "path": "/v1/health",
+            "response": ["status", "version", "jobs", "sites", "pending_events"],
+        },
+        {
+            "method": "GET",
+            "path": "/v1/stats",
+            "response": [
+                "uptime_seconds",
+                "state",
+                "solver",
+                "incremental",
+                "cache",
+                "batching",
+                "sharding",
+                "resilience",
+            ],
+        },
+        {
+            "method": "GET",
+            "path": "/v1/metrics",
+            "response": ["(Prometheus 0.0.4 text exposition)"],
+        },
+        {
+            "method": "GET",
+            "path": "/v1/traces",
+            "response": ["traceEvents"],
+        },
+        {
+            "method": "GET",
+            "path": "/v1/jobs",
+            "query": ["limit", "offset", "status"],
+            "response": [*_ALLOCATION_FIELDS, "pagination"],
+        },
+        {
+            "method": "POST",
+            "path": "/v1/jobs",
+            "request": "JobSpec | {jobs: [JobSpec, ...]}",
+            "response": ["queued_jobs", "pending_events"],
+        },
+        {
+            "method": "DELETE",
+            "path": "/v1/jobs/<name>",
+            "response": ["pending_events"],
+        },
+        {
+            "method": "POST",
+            "path": "/v1/capacity",
+            "request": "CapacitySpec",
+            "response": ["pending_events"],
+        },
+        {
+            "method": "POST",
+            "path": "/v1/allocate",
+            "request": "{} | JobSpec | {jobs: [JobSpec, ...]}",
+            "response": [*_ALLOCATION_FIELDS, "queued_jobs"],
+        },
+        {
+            "method": "GET",
+            "path": "/v1/spec",
+            "response": [
+                "api_version",
+                "versioning",
+                "error_envelope",
+                "pagination",
+                "schemas",
+                "routes",
+            ],
+        },
+    ],
+}

@@ -8,23 +8,52 @@ hit which site sets — barely moves between solves.
 are replayed (revalidated against the current capacities) instead of
 rediscovered through extra max-flow feasibility probes.
 
+``sharded=True`` layers the PR 5 decomposition on top: the cluster is split
+into connected components (:mod:`repro.core.sharding`), each component gets
+its *own* warm basis (:class:`~repro.core.sharding.ShardBasisPool`) and its
+solved sub-matrix is cached by sub-cluster fingerprint — so a delta that
+touches one component re-solves that component alone and replays every
+other shard's matrix verbatim.  This is the "delta→shard routing" the
+service relies on: a shard's fingerprint changes iff the delta touched it.
+
 The solver is a plain ``Cluster -> Allocation`` callable, so it drops into
 :class:`~repro.core.policies.ResilientPolicy` as the primary of the chain
 
     incremental AMF -> cold AMF -> per-site max-min -> proportional
 
 which is how the daemon wires it (:mod:`repro.service.daemon`): a failed
-warm solve *clears its basis* and degrades to a cold solve, preserving the
-degraded-mode guarantee of docs/robustness.md.
+warm solve *clears its basis* (and, sharded, the whole shard pool and
+matrix cache) and degrades to a cold solve, preserving the degraded-mode
+guarantee of docs/robustness.md.
 """
 
 from __future__ import annotations
 
+import dataclasses
+from collections import OrderedDict
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro._util import require
 from repro.core.allocation import Allocation
 from repro.core.amf import AmfDiagnostics, CutBasis, solve_amf
+from repro.core.sharding import (
+    ShardBasisPool,
+    decompose,
+    merge_diagnostics,
+    solve_shards,
+    stitch,
+)
 from repro.model.cluster import Cluster
+from repro.obs.instruments import (
+    record_amf,
+    record_shard_cache,
+    record_shard_decomposition,
+    record_shard_solve,
+)
+from repro.obs.registry import REGISTRY
+from repro.obs.tracing import TRACER, span
 
 __all__ = ["IncrementalStats", "IncrementalAmfSolver"]
 
@@ -45,6 +74,11 @@ class IncrementalStats:
     probes_warm: int = 0  # flow solves continuing from existing flow
     probes_cold: int = 0  # flow solves starting from zero flow
     probe_rollbacks: int = 0  # probes that cancelled flow before solving
+    # shard decomposition (all zero when sharded=False)
+    shard_solves: int = 0  # components actually solved (cache misses)
+    shard_cache_hits: int = 0  # components replayed from the matrix cache
+    shard_cache_misses: int = 0
+    last_shards: int = 0  # components in the most recent decomposition
 
     @property
     def probes_reused(self) -> int:
@@ -69,38 +103,117 @@ class IncrementalAmfSolver:
     Parameters
     ----------
     max_cuts:
-        LRU bound on the persistent basis (see :class:`CutBasis`).
+        LRU bound on the persistent basis (see :class:`CutBasis`), and on
+        each per-shard basis in sharded mode.
     persistent:
-        ``False`` clears the basis before every solve, turning this into a
-        cold solver with the *identical* pipeline (validation, diagnostics,
-        allocation plumbing) — the control arm for warm-vs-cold A/B
-        measurements such as experiment X9.
+        ``False`` clears all warm state before every solve, turning this
+        into a cold solver with the *identical* pipeline (validation,
+        diagnostics, allocation plumbing) — the control arm for
+        warm-vs-cold A/B measurements such as experiment X9.
     oracle:
         Feasibility backend handed to :func:`solve_amf`; the default
         ``"parametric"`` threads the persistent basis into the oracle's
         cut-screening pool so stored cuts answer probes without a flow solve.
+    sharded:
+        Solve connected components independently with per-shard bases and a
+        per-shard matrix cache (see module docstring).  Off by default — the
+        monolithic path is the reference; the daemon opts in.
+    workers:
+        Fork-pool fan-out for shard solves (``None`` = serial; see
+        :func:`repro.analysis.parallel.parallel_map`).  Results are
+        bit-identical under any worker count.
+    shard_cache_size:
+        LRU bound on the per-shard matrix cache (entries are sub-cluster
+        fingerprints, i.e. one per distinct component state seen).
     """
 
-    def __init__(self, max_cuts: int = 64, *, persistent: bool = True, oracle: str = "parametric"):
+    def __init__(
+        self,
+        max_cuts: int = 64,
+        *,
+        persistent: bool = True,
+        oracle: str = "parametric",
+        sharded: bool = False,
+        workers: int | None = None,
+        shard_cache_size: int = 256,
+    ):
+        require(shard_cache_size >= 1, "shard_cache_size must be at least 1")
         self.basis = CutBasis(max_cuts=max_cuts)
         self.persistent = persistent
         self.oracle = oracle
+        self.sharded = sharded
+        self.workers = workers
+        self.shard_cache_size = shard_cache_size
+        self.bases = ShardBasisPool(max_cuts=max_cuts)
+        self._shard_matrices: OrderedDict[str, np.ndarray] = OrderedDict()
         self.stats = IncrementalStats()
         self.__name__ = "amf-incremental" if persistent else "amf-cold"
 
+    @property
+    def shard_cache_entries(self) -> int:
+        return len(self._shard_matrices)
+
+    def _clear_warm_state(self) -> None:
+        self.basis.clear()
+        self.bases.clear()
+        self._shard_matrices.clear()
+
     def __call__(self, cluster: Cluster) -> Allocation:
         if not self.persistent:
-            self.basis.clear()
+            self._clear_warm_state()
         diag = AmfDiagnostics()
         self.stats.solves += 1
         try:
-            alloc = solve_amf(cluster, diagnostics=diag, basis=self.basis, oracle=self.oracle)
+            if self.sharded:
+                alloc = self._solve_sharded(cluster, diag)
+            else:
+                alloc = solve_amf(cluster, diagnostics=diag, basis=self.basis, oracle=self.oracle)
         except Exception:
             # A numerically broken basis must not poison the next attempt;
             # drop it and let the fallback chain take this solve cold.
-            self.basis.clear()
+            self._clear_warm_state()
             self.stats.failures += 1
             self.stats.merge(diag)
             raise
         self.stats.merge(diag)
         return alloc.with_matrix(alloc.matrix, policy=self.__name__)
+
+    def _solve_sharded(self, cluster: Cluster, diag: AmfDiagnostics) -> Allocation:
+        shards = decompose(cluster)
+        record_shard_decomposition(len(shards))
+        self.stats.last_shards = len(shards)
+        observing = REGISTRY.enabled or TRACER.enabled
+        before = dataclasses.replace(diag) if observing else None
+        pieces: list[tuple] = []
+        with span(
+            "amf.solve", variant="sharded", jobs=cluster.n_jobs, sites=cluster.n_sites, shards=len(shards)
+        ):
+            misses = []
+            hits = 0
+            for sh in shards:
+                if sh.n_jobs == 0:
+                    continue
+                key = sh.cluster.fingerprint()
+                cached = self._shard_matrices.get(key)
+                if cached is not None:
+                    self._shard_matrices.move_to_end(key)
+                    hits += 1
+                    pieces.append((sh, cached))
+                else:
+                    misses.append(sh)
+            self.stats.shard_cache_hits += hits
+            self.stats.shard_cache_misses += len(misses)
+            record_shard_cache(hits=hits, misses=len(misses))
+            results = solve_shards(misses, bases=self.bases, oracle=self.oracle, workers=self.workers)
+            for res in results:
+                merge_diagnostics(diag, res.diagnostics)
+                record_shard_solve(res.shard.n_jobs, res.seconds)
+                self.stats.shard_solves += 1
+                self._shard_matrices[res.shard.cluster.fingerprint()] = res.matrix
+                while len(self._shard_matrices) > self.shard_cache_size:
+                    self._shard_matrices.popitem(last=False)
+                pieces.append((res.shard, res.matrix))
+        if observing:
+            record_amf(diag, since=before)
+        matrix = stitch(cluster, pieces)
+        return Allocation(cluster, matrix, policy="amf")

@@ -1,0 +1,237 @@
+"""Shard decomposition: partition correctness and AMF separability.
+
+The load-bearing claim of :mod:`repro.core.sharding` is that solving each
+connected component of the job-site bipartite graph independently yields
+the *same* allocation as the monolithic solve (the feasible region is a
+product of component-local regions, so the leximin decomposes).  The
+hypothesis suite here pins that equivalence — including the degenerate
+extremes (one big component; every job its own component) — plus exact
+serial-vs-parallel agreement and the warm-basis pool mechanics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import ABS_TOL
+from repro.core.amf import solve_amf
+from repro.core.sharding import (
+    Shard,
+    ShardBasisPool,
+    decompose,
+    solve_amf_sharded,
+    solve_shards,
+    stitch,
+)
+from repro.model.cluster import Cluster
+from repro.model.job import Job
+from repro.model.site import Site
+
+
+def block_cluster(blocks: list[tuple[int, int]], *, idle_sites: int = 0, seed: int = 0) -> Cluster:
+    """A block-diagonal cluster: each ``(n_jobs, n_sites)`` block is one
+    connected component (every job in a block touches every block site)."""
+    rng = np.random.default_rng(seed)
+    sites: list[Site] = []
+    jobs: list[Job] = []
+    for b, (n, m) in enumerate(blocks):
+        names = [f"b{b}s{j}" for j in range(m)]
+        sites.extend(Site(nm, float(rng.uniform(1.0, 5.0))) for nm in names)
+        for i in range(n):
+            workload = {nm: float(rng.uniform(0.2, 2.0)) for nm in names}
+            jobs.append(Job(f"b{b}j{i}", workload))
+    sites.extend(Site(f"idle{k}", 1.0) for k in range(idle_sites))
+    return Cluster(tuple(sites), tuple(jobs))
+
+
+class TestDecompose:
+    def test_blocks_become_shards(self):
+        cluster = block_cluster([(2, 2), (3, 1), (1, 3)])
+        shards = decompose(cluster)
+        assert [(len(s.job_indices), len(s.site_indices)) for s in shards] == [(2, 2), (3, 1), (1, 3)]
+
+    def test_partition_is_exact(self):
+        cluster = block_cluster([(2, 3), (4, 2)], idle_sites=2)
+        shards = decompose(cluster)
+        all_sites = sorted(i for s in shards for i in s.site_indices)
+        all_jobs = sorted(i for s in shards for i in s.job_indices)
+        assert all_sites == list(range(cluster.n_sites))
+        assert all_jobs == list(range(cluster.n_jobs))
+
+    def test_idle_sites_form_jobless_shards(self):
+        cluster = block_cluster([(2, 2)], idle_sites=3)
+        shards = decompose(cluster)
+        jobless = [s for s in shards if s.n_jobs == 0]
+        assert len(jobless) == 3
+        assert all(len(s.site_indices) == 1 for s in jobless)
+
+    def test_bridging_job_merges_blocks(self):
+        sites = (Site("a", 1.0), Site("b", 1.0), Site("c", 1.0))
+        jobs = (Job("x", {"a": 1.0}), Job("y", {"b": 1.0, "c": 1.0}), Job("z", {"a": 1.0, "b": 1.0}))
+        shards = decompose(Cluster(sites, jobs))
+        assert len(shards) == 1  # z bridges {a} and {b, c}
+
+    def test_deterministic_order(self):
+        cluster = block_cluster([(1, 2), (2, 2), (1, 1)], seed=3)
+        keys = [s.key for s in decompose(cluster)]
+        assert keys == [s.key for s in decompose(cluster)]
+        # ordered by smallest site index -> block order
+        assert keys[0] == frozenset({"b0s0", "b0s1"})
+
+    def test_shard_cluster_is_self_contained(self):
+        cluster = block_cluster([(2, 2), (1, 1)])
+        for shard in decompose(cluster):
+            assert {s.name for s in shard.cluster.sites} == shard.key
+            for job in shard.cluster.jobs:
+                assert set(job.workload) <= shard.key
+
+
+class TestStitch:
+    def test_round_trip_identity(self):
+        cluster = block_cluster([(2, 2), (3, 3)], seed=1)
+        full = solve_amf(cluster)
+        pieces = []
+        for shard in decompose(cluster):
+            sub = full.matrix[np.ix_(shard.job_indices, shard.site_indices)]
+            pieces.append((shard, sub))
+        stitched = stitch(cluster, pieces)
+        np.testing.assert_array_equal(stitched, full.matrix)
+
+
+# -- separability: sharded == monolithic --------------------------------
+
+_block = st.tuples(st.integers(1, 3), st.integers(1, 3))
+_blocks = st.lists(_block, min_size=1, max_size=4)
+
+
+class TestEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(blocks=_blocks, idle=st.integers(0, 2), seed=st.integers(0, 2**16))
+    def test_sharded_matches_monolithic(self, blocks, idle, seed):
+        # Aggregates are the leximin-unique quantity AMF defines; the
+        # matrix is one of possibly many optimal realizations (ties can
+        # break differently when the flow graph gains idle sites), and
+        # feasibility of the sharded matrix is already enforced by the
+        # Allocation constructor.
+        cluster = block_cluster(blocks, idle_sites=idle, seed=seed)
+        mono = solve_amf(cluster)
+        sharded = solve_amf_sharded(cluster)
+        np.testing.assert_allclose(
+            sharded.aggregates, mono.aggregates, atol=ABS_TOL * 10, rtol=1e-9
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(1, 6), m=st.integers(1, 4), seed=st.integers(0, 2**16))
+    def test_single_component_extreme(self, n, m, seed):
+        # every job touches every site: exactly one shard whose sub-cluster
+        # IS the cluster, so the sharded path runs the identical pipeline
+        # and even the matrix must agree bit-for-bit
+        cluster = block_cluster([(n, m)], seed=seed)
+        assert len(decompose(cluster)) == 1
+        mono = solve_amf(cluster)
+        sharded = solve_amf_sharded(cluster)
+        np.testing.assert_array_equal(sharded.matrix, mono.matrix)
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(1, 8), seed=st.integers(0, 2**16))
+    def test_fully_disconnected_extreme(self, n, seed):
+        # one private site per job: n singleton shards
+        # one private site per job: the matrix is forced (each aggregate
+        # lands on the job's only site), so full equality is well-defined
+        cluster = block_cluster([(1, 1)] * n, seed=seed)
+        assert len(decompose(cluster)) == n
+        mono = solve_amf(cluster)
+        sharded = solve_amf_sharded(cluster)
+        np.testing.assert_allclose(sharded.matrix, mono.matrix, atol=ABS_TOL * 10, rtol=1e-9)
+
+    def test_floors_respected_per_shard(self):
+        cluster = block_cluster([(2, 2), (2, 2)], seed=7)
+        floors = np.full(cluster.n_jobs, 0.1)
+        mono = solve_amf(cluster, floors)
+        sharded = solve_amf_sharded(cluster, floors)
+        assert sharded.policy == "amf+floors"
+        np.testing.assert_allclose(
+            sharded.aggregates, mono.aggregates, atol=ABS_TOL * 10, rtol=1e-9
+        )
+        assert bool((sharded.aggregates >= floors - ABS_TOL * 10).all())
+
+    def test_solve_amf_shards_flag(self):
+        cluster = block_cluster([(2, 2), (2, 2)], seed=5)
+        via_flag = solve_amf(cluster, shards=True)
+        mono = solve_amf(cluster)
+        np.testing.assert_allclose(
+            via_flag.aggregates, mono.aggregates, atol=ABS_TOL * 10, rtol=1e-9
+        )
+
+    def test_shards_flag_rejects_cut_basis(self):
+        from repro.core.amf import CutBasis
+
+        cluster = block_cluster([(1, 1)])
+        with pytest.raises(ValueError):
+            solve_amf(cluster, shards=True, basis=CutBasis())
+
+
+class TestParallelAgreement:
+    @settings(max_examples=10, deadline=None)
+    @given(blocks=_blocks, seed=st.integers(0, 2**16))
+    def test_serial_equals_parallel_bitwise(self, blocks, seed):
+        cluster = block_cluster(blocks, seed=seed)
+        serial = solve_amf_sharded(cluster, workers=None)
+        fanned = solve_amf_sharded(cluster, workers=4)
+        np.testing.assert_array_equal(serial.matrix, fanned.matrix)
+
+    def test_discovered_cuts_fold_back_identically(self):
+        # a tight cluster that generates cuts; the basis pool must end up
+        # with the same cut sets whether shards ran serial or fanned
+        cluster = block_cluster([(3, 2), (3, 2)], seed=11)
+        pools = []
+        for workers in (None, 4):
+            pool = ShardBasisPool()
+            solve_amf_sharded(cluster, bases=pool, workers=workers)
+            pools.append({key: basis.sets() for key, basis in pool.items()})
+        assert pools[0] == pools[1]
+
+
+class TestShardBasisPool:
+    def test_lru_eviction(self):
+        pool = ShardBasisPool(max_shards=2)
+        a = pool.basis_for(frozenset({"a"}))
+        pool.basis_for(frozenset({"b"}))
+        assert pool.basis_for(frozenset({"a"})) is a  # refreshed, not evicted
+        pool.basis_for(frozenset({"c"}))  # evicts "b" (least recent)
+        assert len(pool) == 2
+        assert frozenset({"b"}) not in pool
+
+    def test_merge_warming_seeds_from_subset_keys(self):
+        pool = ShardBasisPool()
+        small = pool.basis_for(frozenset({"a", "b"}))
+        small.record(frozenset({"a"}))
+        merged = pool.basis_for(frozenset({"a", "b", "c"}))
+        assert frozenset({"a"}) in merged.sets()
+
+    def test_solve_shards_reuses_pool(self):
+        cluster = block_cluster([(3, 2), (3, 2)], seed=11)
+        shards = decompose(cluster)
+        pool = ShardBasisPool()
+        first = solve_shards(shards, bases=pool, oracle="parametric", workers=None)
+        warm_total = sum(r.diagnostics.warm_cuts_seeded for r in first)
+        assert warm_total == 0  # cold pool: nothing to seed
+        second = solve_shards(shards, bases=pool, oracle="parametric", workers=None)
+        for cold, warm in zip(first, second):
+            np.testing.assert_array_equal(cold.matrix, warm.matrix)
+
+    def test_clear(self):
+        pool = ShardBasisPool()
+        pool.basis_for(frozenset({"a"}))
+        pool.clear()
+        assert len(pool) == 0
+
+
+class TestShardValue:
+    def test_shard_is_frozen(self):
+        cluster = block_cluster([(1, 1)])
+        shard = decompose(cluster)[0]
+        assert isinstance(shard, Shard)
+        with pytest.raises(AttributeError):
+            shard.key = frozenset()

@@ -95,3 +95,121 @@ class TestValidation:
             CoalescingQueue(max_delay=-1.0)
         with pytest.raises(ValueError):
             CoalescingQueue(max_batch=0)
+
+
+# -- net-effect folding -------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.model.job import Job  # noqa: E402
+from repro.model.site import Site  # noqa: E402
+from repro.service.batching import coalesce_batch  # noqa: E402
+from repro.service.state import CapacityChanged, ClusterState, JobArrived  # noqa: E402
+
+_SITES = ("a", "b")
+
+
+def make_state(jobs=()):
+    state = ClusterState([Site("a", 2.0), Site("b", 3.0)])
+    for job in jobs:
+        state.add_job(job)
+    return state
+
+
+def fold(batch, state):
+    return coalesce_batch(batch, has_job=state.has_job, known_sites=state.site_names)
+
+
+def arrive(name, site="a"):
+    return JobArrived(Job(name, {site: 1.0}))
+
+
+class TestCoalesceBatch:
+    def test_arrive_then_depart_vanishes(self):
+        state = make_state()
+        events, folded, rejections = fold([arrive("x"), JobDeparted("x")], state)
+        assert events == [] and folded == 2 and rejections == []
+
+    def test_last_capacity_wins(self):
+        state = make_state()
+        batch = [CapacityChanged("a", 1.0), CapacityChanged("a", 2.0), CapacityChanged("a", 3.0)]
+        events, folded, _ = fold(batch, state)
+        assert events == [CapacityChanged("a", 3.0)] and folded == 2
+
+    def test_invalid_capacity_does_not_shadow_valid(self):
+        state = make_state()
+        batch = [CapacityChanged("a", 2.0), CapacityChanged("a", -1.0)]
+        events, _, rejections = fold(batch, state)
+        assert events == [CapacityChanged("a", 2.0)]
+        assert rejections == ["site 'a': capacity must be positive and finite, got -1.0"]
+
+    def test_present_job_cycle_becomes_replacement_pair(self):
+        job = Job("x", {"a": 1.0})
+        state = make_state([job])
+        replacement = arrive("x", site="b")
+        events, folded, rejections = fold([JobDeparted("x"), replacement], state)
+        assert events == [JobDeparted("x"), replacement] and folded == 0 and rejections == []
+
+    def test_duplicate_arrival_rejected_with_state_phrasing(self):
+        state = make_state([Job("x", {"a": 1.0})])
+        events, _, rejections = fold([arrive("x")], state)
+        assert events == [] and rejections == ["job 'x' already present"]
+
+    def test_unknown_site_arrival_rejected(self):
+        state = make_state()
+        events, _, rejections = fold([arrive("x", site="zz")], state)
+        assert events == []
+        assert rejections == ["job 'x' references unknown sites ['zz']"]
+
+    def test_unknown_departure_rejected(self):
+        state = make_state()
+        _, _, rejections = fold([JobDeparted("ghost")], state)
+        assert rejections == ["unknown job 'ghost'"]
+
+    def test_unknown_capacity_site_rejected(self):
+        state = make_state()
+        _, _, rejections = fold([CapacityChanged("zz", 1.0)], state)
+        assert rejections == ["unknown site 'zz'"]
+
+
+@st.composite
+def random_batches(draw):
+    names = ["x", "y", "z"]
+    initial = draw(st.sets(st.sampled_from(names)))
+    events = []
+    for _ in range(draw(st.integers(0, 12))):
+        kind = draw(st.sampled_from(["arrive", "depart", "capacity"]))
+        if kind == "arrive":
+            name = draw(st.sampled_from(names))
+            site = draw(st.sampled_from([*_SITES, "zz"]))
+            events.append(JobArrived(Job(name, {site: draw(st.floats(0.1, 2.0))})))
+        elif kind == "depart":
+            events.append(JobDeparted(draw(st.sampled_from(names))))
+        else:
+            site = draw(st.sampled_from([*_SITES, "zz"]))
+            cap = draw(st.sampled_from([1.0, 2.5, 0.0, -1.0, float("inf")]))
+            events.append(CapacityChanged(site, cap))
+    return sorted(initial), events
+
+
+class TestFoldingEquivalence:
+    """The folded batch must leave the state exactly where sequential
+    application would — same snapshot, same rejection log."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(random_batches())
+    def test_net_effect_and_rejections_identical(self, script):
+        initial, batch = script
+        seed = [Job(n, {"a": 1.0}) for n in initial]
+        sequential = make_state(seed)
+        folded_state = make_state(seed)
+
+        _, seq_rejections = sequential.apply_all(batch)
+        events, folded, fold_rejections = fold(batch, folded_state)
+        applied, late_rejections = folded_state.apply_all(events)
+
+        assert late_rejections == []  # surviving events always apply cleanly
+        assert fold_rejections == seq_rejections
+        assert folded == len(batch) - len(events)
+        assert folded_state.snapshot().fingerprint() == sequential.snapshot().fingerprint()

@@ -10,7 +10,7 @@ import pytest
 from repro.model.site import Site
 from repro.service.daemon import AllocationService
 from repro.service.http import ServiceServer, job_from_dict
-from repro.service.state import ClusterState, StateError
+from repro.service.state import ClusterState
 
 
 @pytest.fixture
@@ -143,5 +143,5 @@ class TestWireFormat:
         assert job.demand == {"a": 0.5} and job.weight == 2.0 and job.arrival == 1.5
 
     def test_job_from_dict_requires_name_and_workload(self):
-        with pytest.raises(StateError):
+        with pytest.raises(ValueError):
             job_from_dict({"name": "j"})

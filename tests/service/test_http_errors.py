@@ -67,14 +67,14 @@ class TestMalformedBodies:
 
     def test_non_object_body_400(self, server):
         status, payload = call(server, "POST", "/jobs", raw=b"[1, 2, 3]")
-        assert status == 400 and "object" in payload["error"]
+        assert status == 400 and "object" in payload["error"]["message"]
         assert_alive(server)
 
     def test_non_numeric_workload_400(self, server):
         status, payload = call(
             server, "POST", "/jobs", {"name": "j", "workload": {"a": "lots"}}
         )
-        assert status == 400 and "malformed job" in payload["error"]
+        assert status == 400 and "malformed job" in payload["error"]["message"]
         assert_alive(server)
 
     def test_workload_not_a_mapping_400(self, server):
@@ -91,7 +91,7 @@ class TestNonFiniteInputs:
     def test_non_finite_workload_400(self, server, value):
         raw = b'{"name": "j", "workload": {"a": %s}}' % value.encode()
         status, payload = call(server, "POST", "/jobs", raw=raw)
-        assert status == 400 and "finite" in payload["error"]
+        assert status == 400 and "finite" in payload["error"]["message"]
         assert_alive(server)
 
     @pytest.mark.parametrize("field", ["weight", "arrival"])
@@ -105,7 +105,7 @@ class TestNonFiniteInputs:
     def test_bad_capacity_400(self, server, value):
         raw = b'{"site": "a", "capacity": %s}' % value.encode()
         status, payload = call(server, "POST", "/capacity", raw=raw)
-        assert status == 400 and "capacity" in payload["error"]
+        assert status == 400 and "capacity" in payload["error"]["message"]
         assert_alive(server)
         # the bad value never reached the state
         status, payload = call(server, "GET", "/health")
@@ -136,7 +136,7 @@ class TestDeleteJob:
 
     def test_unknown_job_404(self, server):
         status, payload = call(server, "DELETE", "/jobs/ghost")
-        assert status == 404 and "unknown job" in payload["error"]
+        assert status == 404 and "unknown job" in payload["error"]["message"]
         assert_alive(server)
 
     def test_queued_but_unflushed_job_is_deletable(self, server):
@@ -179,7 +179,7 @@ class TestOversizedBody:
             resp = conn.getresponse()
             assert resp.status == 413
             payload = json.loads(resp.read().decode())
-            assert "exceeds" in payload["error"]
+            assert "exceeds" in payload["error"]["message"]
             # the unread body poisons the connection; the server closes it
             assert resp.headers.get("Connection", "").lower() == "close"
         finally:

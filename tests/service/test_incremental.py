@@ -178,3 +178,92 @@ class TestCutBasis:
         basis.record(frozenset({"gone"}))
         cluster = Cluster([Site("a", 1.0)], [Job("j", {"a": 1.0})])
         assert basis.instantiate(cluster) == []
+
+
+class TestShardedSolver:
+    """IncrementalAmfSolver(sharded=True): same answers, per-shard caching."""
+
+    def two_block_cluster(self) -> Cluster:
+        sites = [Site("a", 1.0), Site("b", 10.0), Site("c", 2.0)]
+        jobs = [
+            Job("x", {"a": 1.0}),
+            Job("y", {"a": 1.0, "b": 1.0}, demand={"b": 0.1}),
+            Job("z", {"c": 1.0}),
+        ]
+        return Cluster(sites, jobs)
+
+    @given(churn_scripts())
+    @settings(max_examples=40, deadline=None)
+    def test_sharded_matches_cold_oracle(self, script):
+        sites, jobs, events = script
+        state = ClusterState(sites, jobs)
+        solver = IncrementalAmfSolver(sharded=True)
+        for event in [None, *events]:
+            if event is not None:
+                state.apply(event)
+            cluster = state.snapshot()
+            if cluster.n_jobs == 0:
+                continue
+            warm = solver(cluster)
+            cold = solve_amf(cluster)
+            np.testing.assert_allclose(
+                warm.aggregates, cold.aggregates, atol=ABS_TOL * 10, rtol=1e-9
+            )
+
+    def test_repeat_solve_hits_shard_cache(self):
+        cluster = self.two_block_cluster()
+        solver = IncrementalAmfSolver(sharded=True)
+        first = solver(cluster)
+        assert solver.stats.last_shards == 2
+        assert solver.stats.shard_solves == 2
+        assert solver.stats.shard_cache_misses == 2
+        second = solver(cluster)
+        assert solver.stats.shard_cache_hits == 2
+        assert solver.stats.shard_solves == 2  # nothing re-solved
+        np.testing.assert_array_equal(first.matrix, second.matrix)
+
+    def test_delta_resolves_only_touched_shard(self):
+        cluster = self.two_block_cluster()
+        solver = IncrementalAmfSolver(sharded=True)
+        solver(cluster)
+        # grow job z's block only: the {a, b} shard must replay from cache
+        touched = Cluster(
+            cluster.sites,
+            (*cluster.jobs, Job("w", {"c": 1.0})),
+        )
+        solver(touched)
+        assert solver.stats.shard_cache_hits == 1  # the untouched {a, b} block
+        assert solver.stats.shard_solves == 3  # 2 cold + 1 re-solve of {c}
+
+    def test_failure_clears_shard_state(self, monkeypatch):
+        cluster = self.two_block_cluster()
+        solver = IncrementalAmfSolver(sharded=True)
+        solver(cluster)
+        assert solver.shard_cache_entries == 2 and len(solver.bases) == 2
+
+        import repro.service.solver as solver_mod
+
+        def poisoned(*args, **kwargs):
+            raise RuntimeError("poisoned")
+
+        monkeypatch.setattr(solver_mod, "solve_shards", poisoned)
+        with pytest.raises(RuntimeError, match="poisoned"):
+            solver(cluster)
+        monkeypatch.undo()
+        assert solver.shard_cache_entries == 0 and len(solver.bases) == 0
+        assert solver.stats.failures == 1
+        solver(cluster)  # recovers cold
+
+    def test_shard_cache_lru_bound(self):
+        solver = IncrementalAmfSolver(sharded=True, shard_cache_size=2)
+        for cap in (1.0, 2.0, 3.0):
+            solver(Cluster([Site("a", cap), Site("b", 1.0)], [Job("x", {"a": 1.0}), Job("z", {"b": 1.0})]))
+        assert solver.shard_cache_entries == 2
+
+    def test_non_persistent_sharded_stays_cold(self):
+        cluster = self.two_block_cluster()
+        solver = IncrementalAmfSolver(persistent=False, sharded=True)
+        solver(cluster)
+        solver(cluster)
+        assert solver.stats.shard_cache_hits == 0
+        assert solver.stats.warm_cuts_seeded == 0
