@@ -1,0 +1,252 @@
+"""Distributed control-plane benchmark: worker pool vs in-process sharding.
+
+Standalone (no pytest) so CI and developers get one machine-readable
+artifact::
+
+    PYTHONPATH=src python benchmarks/bench_pr7.py --out BENCH_PR7.json
+
+Two stages:
+
+* ``throughput`` — a K-block cluster solved repeatedly through (a) the
+  in-process sharded solver and (b) a coordinator + N-worker pool
+  (workers as real TCP servers).  Matrices are asserted bit-identical;
+  the headline number is the distributed/in-process time ratio — the
+  *price of the wire* (framing + JSON + TCP round-trips) for this shard
+  mix.  The gate metric is dimensionless, so it is machine-speed
+  independent.
+* ``failover`` — mid-run, one worker's listener and sockets are torn
+  down; the next solve trips the dead connection, fails over and replays
+  the orphaned shards on the survivors with mirror-seeded bases.
+  Reported: recovery time (the wall-clock cost of the first post-kill
+  solve in healthy-solve units) and correctness of the recovered
+  allocation.  The recovery solve is checked on per-job *aggregates*
+  (the unique max-min fair quantity) against the cold reference, plus
+  *exact* matrix equality between consecutive post-recovery solves:
+  re-solving an unchanged shard against a warm cut basis can land on a
+  different optimal placement even in-process (the service layer replays
+  unchanged shards from the fingerprint cache instead), so cold-vs-warm
+  matrix equality is not a property of any backend.  First-solve bit
+  identity *is* asserted, in the throughput stage and the test suite.
+
+``--baseline BENCH_PR7.json`` turns the run into a regression gate on the
+throughput ratio and the failover recovery overhead (both dimensionless),
+exiting non-zero past ``--max-regression``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.sharding import ShardBasisPool, decompose, solve_shards, stitch  # noqa: E402
+from repro.dist import SolverWorker, WorkerPool  # noqa: E402
+from repro.model.cluster import Cluster  # noqa: E402
+from repro.model.job import Job  # noqa: E402
+from repro.model.site import Site  # noqa: E402
+from repro.workload.generator import WorkloadSpec, generate_cluster  # noqa: E402
+
+
+def _scaled(n: int, scale: float, minimum: int = 2) -> int:
+    return max(minimum, int(round(n * scale)))
+
+
+def block_diagonal(
+    k: int, jobs_per_block: int, sites_per_block: int, rng: np.random.Generator
+) -> Cluster:
+    """K independent generated components glued into one cluster."""
+    sites: list[Site] = []
+    jobs: list[Job] = []
+    for b in range(k):
+        sub = generate_cluster(
+            WorkloadSpec(n_jobs=jobs_per_block, n_sites=sites_per_block, theta=1.2), rng
+        )
+        rename = {s.name: f"b{b}.{s.name}" for s in sub.sites}
+        sites.extend(Site(rename[s.name], s.capacity) for s in sub.sites)
+        jobs.extend(
+            Job(
+                f"b{b}.{job.name}",
+                {rename[s]: w for s, w in job.workload.items()},
+                {rename[s]: d for s, d in job.demand.items()},
+                weight=job.weight,
+            )
+            for job in sub.jobs
+        )
+    return Cluster(tuple(sites), tuple(jobs))
+
+
+def _local_solve(cluster, shards, bases):
+    results = solve_shards(shards, bases=bases)
+    return stitch(cluster, [(r.shard, r.matrix) for r in results])
+
+
+def _pool_solve(cluster, shards, pool):
+    results = pool.solve_shards(shards)
+    return stitch(cluster, [(r.shard, r.matrix) for r in results])
+
+
+def stage_throughput(scale: float, repeats: int, n_workers: int) -> dict:
+    """In-process sharded vs distributed pool on the same K-block cluster."""
+    k = 8
+    cluster = block_diagonal(
+        k, _scaled(20, scale, 3), _scaled(4, scale, 2), np.random.default_rng(0)
+    )
+    shards = decompose(cluster)
+    assert len(shards) == k
+
+    local_times: list[float] = []
+    bases = ShardBasisPool(max_cuts=64)
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        local_matrix = _local_solve(cluster, shards, bases)
+        local_times.append(time.perf_counter() - t0)
+
+    workers = [SolverWorker().start() for _ in range(n_workers)]
+    dist_times: list[float] = []
+    try:
+        with WorkerPool([w.address for w in workers], heartbeat_interval=0.2) as pool:
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                dist_matrix = _pool_solve(cluster, shards, pool)
+                dist_times.append(time.perf_counter() - t0)
+            rpcs = pool.stats.rpcs
+    finally:
+        for w in workers:
+            w.close()
+
+    if not np.array_equal(local_matrix, dist_matrix):
+        raise AssertionError("distributed solve is not bit-identical to in-process")
+
+    local_ms = 1e3 * min(local_times)
+    dist_ms = 1e3 * min(dist_times)
+    return {
+        "blocks": k,
+        "n_jobs": cluster.n_jobs,
+        "n_sites": cluster.n_sites,
+        "workers": n_workers,
+        "repeats": repeats,
+        "rpcs": rpcs,
+        "local_ms": local_ms,
+        "dist_ms": dist_ms,
+        "bit_identical": True,
+        # regression-gate metric: the price of the wire, dimensionless
+        "ratio": dist_ms / local_ms,
+    }
+
+
+def stage_failover(scale: float, n_workers: int) -> dict:
+    """Kill one worker mid-run; measure the recovery solve's overhead."""
+    k = 6
+    cluster = block_diagonal(
+        k, _scaled(15, scale, 3), _scaled(3, scale, 2), np.random.default_rng(1)
+    )
+    shards = decompose(cluster)
+
+    workers = [SolverWorker().start() for _ in range(n_workers)]
+    try:
+        with WorkerPool([w.address for w in workers], heartbeat_interval=0.2) as pool:
+            reference = _pool_solve(cluster, shards, pool)  # cold
+            t0 = time.perf_counter()
+            _pool_solve(cluster, shards, pool)
+            healthy_s = time.perf_counter() - t0  # warm, all workers alive
+
+            victim_id = pool.live_workers[0]
+            orphaned = len(pool.assignment.shards_of(victim_id))
+            next(w for w in workers if w.worker_id == victim_id).close()
+
+            t0 = time.perf_counter()
+            recovered = _pool_solve(cluster, shards, pool)
+            recovery_s = time.perf_counter() - t0  # trips the dead conn + replays
+
+            if pool.stats.failovers != 1:
+                raise AssertionError("expected exactly one failover")
+            # the matrix is a placement (non-unique); the per-job
+            # aggregates are the unique max-min fair quantity
+            np.testing.assert_allclose(
+                np.sort(recovered.sum(axis=1)),
+                np.sort(reference.sum(axis=1)),
+                atol=1e-7,
+                rtol=1e-7,
+            )
+            steady = _pool_solve(cluster, shards, pool)
+            if not np.array_equal(recovered, steady):
+                raise AssertionError("post-recovery solves are not deterministic")
+            return {
+                "blocks": k,
+                "workers": n_workers,
+                "orphaned_shards": orphaned,
+                "failovers": pool.stats.failovers,
+                "reassignments": pool.stats.reassignments,
+                "healthy_solve_ms": 1e3 * healthy_s,
+                "recovery_solve_ms": 1e3 * recovery_s,
+                "recovery_seconds": recovery_s,
+                "aggregates_match_after_failover": True,
+                "deterministic_after_recovery": True,
+                # regression-gate metric: recovery cost in healthy-solve units
+                "recovery_overhead": recovery_s / healthy_s,
+            }
+    finally:
+        for w in workers:
+            w.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", type=float, default=1.0, help="instance size scale")
+    ap.add_argument("--repeats", type=int, default=3, help="timed repeats (min is reported)")
+    ap.add_argument("--workers", type=int, default=2, help="solver workers in the pool")
+    ap.add_argument("--out", default="BENCH_PR7.json", help="output JSON path")
+    ap.add_argument("--baseline", help="committed BENCH_PR7.json to gate against")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail if a gated ratio exceeds baseline by this factor",
+    )
+    args = ap.parse_args(argv)
+
+    result = {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "stages": {
+            "throughput": stage_throughput(args.scale, args.repeats, args.workers),
+            "failover": stage_failover(args.scale, args.workers),
+        },
+    }
+    result["summary"] = {
+        "wire_overhead_ratio": result["stages"]["throughput"]["ratio"],
+        "failover_recovery_overhead": result["stages"]["failover"]["recovery_overhead"],
+        "failover_recovery_seconds": result["stages"]["failover"]["recovery_seconds"],
+    }
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    print(f"  distributed/in-process time ratio: {result['summary']['wire_overhead_ratio']:.2f}x")
+    print(
+        f"  failover recovery: {result['summary']['failover_recovery_seconds'] * 1e3:.1f} ms "
+        f"({result['summary']['failover_recovery_overhead']:.2f}x a healthy solve)"
+    )
+
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        failed = False
+        for stage, metric in (("throughput", "ratio"), ("failover", "recovery_overhead")):
+            base = baseline["stages"][stage][metric]
+            fresh = result["stages"][stage][metric]
+            limit = args.max_regression * base
+            print(f"regression gate: {stage}.{metric} {fresh:.3f} vs baseline {base:.3f} (limit {limit:.3f})")
+            if fresh > limit:
+                print(f"FAIL: {stage}.{metric} regressed beyond the gate", file=sys.stderr)
+                failed = True
+        if failed:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

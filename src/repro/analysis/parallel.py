@@ -21,15 +21,25 @@ Two deliberate design points:
   :func:`default_workers` (the ``REPRO_WORKERS`` environment variable or
   :func:`set_default_workers`, else 1), so library callers see no
   behavioural change unless they opt in.
+
+The fork fallback is silent in results but not in telemetry: the first
+time a multi-worker map degrades to serial because the platform lacks
+``fork``, a :class:`RuntimeWarning` is emitted (once per process) and
+every such degradation bumps the ``repro_parallel_fallback_total``
+counter — a sweep that quietly ran 1x instead of 8x is otherwise
+indistinguishable from a slow machine.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+
+from repro.obs.instruments import record_parallel_fallback
 
 __all__ = [
     "default_workers",
@@ -78,6 +88,25 @@ def _fork_available() -> bool:
         return False
 
 
+_WARNED_NO_FORK = False  # one warning per process; the counter counts all
+
+
+def _note_fork_unavailable() -> None:
+    """Telemetry for a map that wanted workers but must run serial."""
+    global _WARNED_NO_FORK
+    record_parallel_fallback()
+    if not _WARNED_NO_FORK:
+        _WARNED_NO_FORK = True
+        warnings.warn(
+            "parallel_map: the 'fork' start method is unavailable on this "
+            "platform; running serially (results are identical, just slower). "
+            "This warning is emitted once; every degradation counts on "
+            "repro_parallel_fallback_total.",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
 def _init_worker() -> None:
     global _IN_WORKER
     _IN_WORKER = True
@@ -98,7 +127,10 @@ def parallel_map(fn: Callable, tasks: Sequence, workers: int | None = None) -> l
     """
     tasks = list(tasks)
     n_workers = min(_resolve(workers), max(1, len(tasks)))
-    if n_workers <= 1 or _IN_WORKER or not _fork_available():
+    if n_workers > 1 and not _IN_WORKER and not _fork_available():
+        _note_fork_unavailable()
+        n_workers = 1
+    if n_workers <= 1 or _IN_WORKER:
         return [fn(t) for t in tasks]
     global _WORKER_FN
     ctx = multiprocessing.get_context("fork")

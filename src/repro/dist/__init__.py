@@ -1,0 +1,51 @@
+"""Distributed control plane: coordinator + solver-worker pool.
+
+The subsystem splits the sharded AMF solve of PR 5 across processes: a
+*coordinator* (the process running :class:`~repro.service.daemon
+.AllocationService`) owns the cluster state and the shard→worker
+assignment, and N *solver workers* each hold their shards' warm cut bases
+and answer solve RPCs over a length-prefixed JSON protocol.  The public
+HTTP API is unchanged — distribution is a service backend
+(``AllocationService(backend="dist", ...)``), not a new API.
+
+Layering:
+
+* :mod:`repro.dist.protocol` — framing, envelopes, message types;
+* :mod:`repro.dist.membership` — heartbeat probing and death declaration;
+* :mod:`repro.dist.worker` — the worker process (:class:`SolverWorker`);
+* :mod:`repro.dist.coordinator` — the pool client (:class:`WorkerPool`),
+  shard assignment and failover.
+
+See ``docs/distributed.md`` for the topology, protocol spec, failover
+semantics and tuning knobs.
+"""
+
+from repro.dist.coordinator import DistError, DistStats, ShardAssignment, WorkerPool
+from repro.dist.membership import HeartbeatMonitor, WorkerInfo
+from repro.dist.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    FrameTooLarge,
+    Message,
+    ProtocolError,
+)
+from repro.dist.worker import SolverWorker, run_worker, spawn_local_workers
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "FrameTooLarge",
+    "ConnectionClosed",
+    "Message",
+    "HeartbeatMonitor",
+    "WorkerInfo",
+    "SolverWorker",
+    "run_worker",
+    "spawn_local_workers",
+    "DistError",
+    "DistStats",
+    "ShardAssignment",
+    "WorkerPool",
+]

@@ -1,0 +1,152 @@
+"""Heartbeat-based membership for the solver-worker pool.
+
+The coordinator cannot tell a slow worker from a dead one by RPC failures
+alone — a quiet service may not issue a solve for minutes.  The
+:class:`HeartbeatMonitor` therefore probes every live worker on a control
+connection each ``interval`` seconds; :data:`miss_threshold` *consecutive*
+misses declare the worker dead and invoke the pool's failure path (shard
+reassignment with subset-seeded basis re-warm — the same spirit as the
+PR 1 site-failure machinery, applied to the service's own processes).
+
+The monitor is deliberately dumb: it knows nothing about shards or
+sockets.  It is given a ``targets`` callable yielding ``(worker_id,
+probe)`` pairs and a ``on_dead(worker_id, reason)`` callback, so it is
+testable with plain fakes (``tests/dist/test_membership.py``) and
+reusable by anything that can phrase liveness as "a callable that raises".
+A probe that *returns* resets the miss counter; a probe that raises counts
+one miss and bumps the ``repro_dist_heartbeat_misses_total`` counter.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro._util import require
+from repro.obs.instruments import record_dist_heartbeat_miss
+
+__all__ = ["WorkerInfo", "HeartbeatMonitor"]
+
+
+@dataclass(slots=True)
+class WorkerInfo:
+    """Coordinator-side view of one worker's membership state."""
+
+    worker_id: str
+    address: tuple[str, int]
+    alive: bool = True
+    consecutive_misses: int = 0
+    heartbeats: int = 0  # successful probes
+    misses: int = 0  # lifetime missed probes
+    solves: int = 0  # worker-reported solve count (from the last pong)
+    shards: int = 0  # shard keys currently assigned to this worker
+    last_error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "worker_id": self.worker_id,
+            "address": f"{self.address[0]}:{self.address[1]}",
+            "alive": self.alive,
+            "consecutive_misses": self.consecutive_misses,
+            "heartbeats": self.heartbeats,
+            "misses": self.misses,
+            "solves": self.solves,
+            "shards": self.shards,
+            "last_error": self.last_error,
+        }
+
+
+@dataclass(slots=True)
+class _Track:
+    misses: int = 0
+
+
+class HeartbeatMonitor:
+    """Background prober declaring workers dead after consecutive misses.
+
+    Parameters
+    ----------
+    targets:
+        Callable returning the current ``(worker_id, probe)`` pairs to
+        check; probes of workers already declared dead must simply not be
+        yielded any more.
+    on_dead:
+        Invoked once per worker, from the monitor thread, when its miss
+        count reaches ``miss_threshold``.
+    on_alive:
+        Optional per-success callback ``(worker_id, result)`` — the pool
+        uses it to fold the pong's load sketch into its registry.
+    on_miss:
+        Optional per-miss callback ``(worker_id,)`` — fired for *every*
+        missed probe, before any death declaration.
+    interval:
+        Seconds between probe rounds.
+    miss_threshold:
+        Consecutive misses before ``on_dead`` fires.
+    """
+
+    def __init__(
+        self,
+        targets: Callable[[], Iterable[tuple[str, Callable[[], object]]]],
+        on_dead: Callable[[str, str], None],
+        *,
+        on_alive: Callable[[str, object], None] | None = None,
+        on_miss: Callable[[str], None] | None = None,
+        interval: float = 0.5,
+        miss_threshold: int = 3,
+    ):
+        require(interval > 0.0, "heartbeat interval must be positive")
+        require(miss_threshold >= 1, "miss_threshold must be at least 1")
+        self.interval = interval
+        self.miss_threshold = miss_threshold
+        self._targets = targets
+        self._on_dead = on_dead
+        self._on_alive = on_alive
+        self._on_miss = on_miss
+        self._tracks: dict[str, _Track] = {}
+        self._declared: set[str] = set()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._run, name="dist-heartbeat", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.probe_once()
+
+    # -- one probe round (public so tests can drive it synchronously) --
+    def probe_once(self) -> None:
+        for worker_id, probe in list(self._targets()):
+            if worker_id in self._declared:
+                continue
+            track = self._tracks.setdefault(worker_id, _Track())
+            try:
+                result = probe()
+            except Exception as exc:  # noqa: BLE001 - any probe fault is a miss
+                track.misses += 1
+                record_dist_heartbeat_miss()
+                if self._on_miss is not None:
+                    self._on_miss(worker_id)
+                if track.misses >= self.miss_threshold:
+                    self._declared.add(worker_id)
+                    self._on_dead(worker_id, f"{track.misses} consecutive heartbeat misses: {exc}")
+                continue
+            track.misses = 0
+            if self._on_alive is not None:
+                self._on_alive(worker_id, result)
+
+    def misses_for(self, worker_id: str) -> int:
+        track = self._tracks.get(worker_id)
+        return 0 if track is None else track.misses

@@ -14,7 +14,7 @@ See docs/service.md for the architecture and knobs.
 
 from repro.service.batching import BatchStats, CoalescingQueue
 from repro.service.cache import AllocationCache, CacheStats
-from repro.service.daemon import AllocationService, ServedAllocation
+from repro.service.daemon import AllocationService, ServedAllocation, ServiceClosed
 from repro.service.solver import IncrementalAmfSolver, IncrementalStats
 from repro.service.state import (
     CapacityChanged,
@@ -40,6 +40,7 @@ __all__ = [
     "JobArrived",
     "JobDeparted",
     "ServedAllocation",
+    "ServiceClosed",
     "StateError",
     "events_from_schedule",
 ]

@@ -40,7 +40,11 @@ from repro.service.solver import IncrementalAmfSolver
 from repro.service.state import ClusterEvent, ClusterState, JobArrived
 from repro.sim.scheduler import SolveStats
 
-__all__ = ["ServedAllocation", "AllocationService"]
+__all__ = ["ServedAllocation", "ServiceClosed", "AllocationService"]
+
+
+class ServiceClosed(RuntimeError):
+    """The service is shutting down and accepts no new work (HTTP: 503)."""
 
 
 class ServedAllocation:
@@ -81,6 +85,16 @@ class AllocationService:
     workers:
         Fork-pool fan-out for shard solves (``None`` = serial).  The
         allocation is identical under any worker count.
+    backend:
+        Where shard solves run: ``"local"`` (default, in-process) or
+        ``"dist"`` — proxy each shard solve to the solver-worker pool
+        given as ``pool``.  The public API and every allocation are
+        identical either way; if the entire pool dies the resilient chain
+        serves the solve locally (``amf`` cold and below).
+    pool:
+        A *started* :class:`repro.dist.WorkerPool` (required iff
+        ``backend="dist"``).  The service takes ownership: :meth:`close`
+        stops its heartbeats and connections.
     clock:
         Injectable monotone clock (virtual time in tests/benchmarks).
     observability:
@@ -102,17 +116,28 @@ class AllocationService:
         fallbacks: Sequence[str | PolicyFn] = ("amf", "psmf"),
         sharded: bool = True,
         workers: int | None = None,
+        backend: str = "local",
+        pool=None,
         clock: Callable[[], float] = time.monotonic,
         observability: bool = True,
     ):
         require(state.n_sites > 0, "service needs at least one site")
+        require(backend in ("local", "dist"), f"unknown backend {backend!r} (local or dist)")
+        require(
+            (backend == "dist") == (pool is not None),
+            "backend='dist' requires a pool (and a pool requires backend='dist')",
+        )
         if observability:
             REGISTRY.enable()
             TRACER.enable()
         self.state = state
+        self.backend = backend
+        self.pool = pool
         self.queue = CoalescingQueue(max_delay=max_delay, max_batch=max_batch, clock=clock)
         self.cache = AllocationCache(max_entries=cache_size)
-        self.incremental = IncrementalAmfSolver(max_cuts=max_cuts, sharded=sharded, workers=workers)
+        self.incremental = IncrementalAmfSolver(
+            max_cuts=max_cuts, sharded=sharded or backend == "dist", workers=workers, shard_backend=pool
+        )
         self._last_touched_sites: frozenset[str] | None = frozenset()
         self.resilience = ResilienceStats()
         self.policy = ResilientPolicy(self.incremental, fallbacks, stats=self.resilience)
@@ -122,13 +147,19 @@ class AllocationService:
         self.events_accepted = 0
         self._lock = threading.RLock()
         self._started = time.time()
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Event intake
     # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosed("service is shutting down")
+
     def submit(self, event: ClusterEvent) -> int:
         """Queue one delta; returns the number of pending events."""
         with self._lock:
+            self._check_open()
             self.queue.push(event)
             self.events_accepted += 1
             depth = len(self.queue)
@@ -138,6 +169,7 @@ class AllocationService:
 
     def submit_all(self, events: Sequence[ClusterEvent]) -> int:
         with self._lock:
+            self._check_open()
             for event in events:
                 self.queue.push(event)
             self.events_accepted += len(events)
@@ -218,6 +250,7 @@ class AllocationService:
         batch-delayed state, flushing only if the batch is already due.
         """
         with self._lock:
+            self._check_open()
             self.flush(force=fresh)
             cluster = self.state.snapshot()
             fp = cluster.fingerprint()
@@ -237,6 +270,31 @@ class AllocationService:
                 instruments.SERVICE_SOLVE_SECONDS.observe(dt)
             self.cache.put(cluster, alloc)
             return ServedAllocation(alloc, cached=False, seconds=dt, version=version, fingerprint=fp)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Graceful shutdown: drain the queue, then refuse new work.
+
+        The pending batch is applied to the state first — so the
+        touched-sites journal records every accepted delta and a restart
+        from the same state store resumes exactly where the daemon
+        stopped — then :class:`ServiceClosed` guards all intake/serve
+        paths (HTTP answers 503), and a distributed backend's pool is
+        stopped (heartbeats end, worker connections close).  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self.flush(force=True)
+            self._closed = True
+        if self.pool is not None:
+            self.pool.stop()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -315,4 +373,9 @@ class AllocationService:
                     "served_by": dict(self.resilience.served_by),
                     "errors": list(self.resilience.errors[-5:]),
                 },
+                "dist": (
+                    {"backend": "local"}
+                    if self.pool is None
+                    else {"backend": "dist", **self.pool.stats_dict()}
+                ),
             }

@@ -42,8 +42,13 @@ Request parsing is owned by the typed schema layer
 envelope ``{"error": {"code", "message", "detail"}}``: ``bad_request``
 (400) for malformed JSON, schema violations or non-finite numbers,
 ``not_found`` (404) for unknown paths and job names,
-``payload_too_large`` (413) above :data:`MAX_BODY_BYTES`, ``internal``
-(500) for anything else.  The full table lives in docs/api.md.
+``request_timeout`` (408) when a client stalls mid-body or the body is
+shorter than its Content-Length (each connection carries a socket
+timeout — ``request_timeout`` on :class:`ServiceServer` — so a dribbling
+client cannot pin a handler thread forever), ``payload_too_large`` (413)
+above :data:`MAX_BODY_BYTES`, ``internal`` (500) for anything else, and
+``unavailable`` (503) once the daemon is draining for shutdown.  The full
+table lives in docs/api.md.
 
 A daemon thread flushes the coalescing queue every ``max_delay``, so
 arrivals POSTed without a follow-up ``/v1/allocate`` still land in the
@@ -53,6 +58,7 @@ state.
 from __future__ import annotations
 
 import json
+import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -63,9 +69,10 @@ from repro.model.job import Job
 from repro.obs import instruments
 from repro.obs.registry import REGISTRY
 from repro.obs.tracing import TRACER
-from repro.service.daemon import AllocationService
+from repro.service.daemon import AllocationService, ServiceClosed
 from repro.service.schema import (
     API_SPEC,
+    MAX_BODY_BYTES as _MAX_BODY_BYTES,
     AllocateRequest,
     CapacitySpec,
     JobsQuery,
@@ -78,8 +85,10 @@ from repro.service.state import CapacityChanged, JobArrived, JobDeparted, StateE
 __all__ = ["job_from_dict", "ServiceServer", "serve", "MAX_BODY_BYTES"]
 
 #: Largest accepted request body; anything above is refused with 413
-#: before a byte is read (a liveness guard, not a protocol limit).
-MAX_BODY_BYTES = 4 << 20
+#: before a byte is read (a liveness guard, not a protocol limit).  The
+#: value lives in :mod:`repro.service.schema` so the distributed wire
+#: protocol shares the same ceiling; re-exported here for compatibility.
+MAX_BODY_BYTES = _MAX_BODY_BYTES
 
 #: Legacy (unversioned) paths that alias a ``/v1`` route and therefore
 #: answer with the deprecation headers.  ``/v1/spec`` has no alias.
@@ -88,6 +97,10 @@ _ALIASED = frozenset({"/health", "/stats", "/metrics", "/traces", "/jobs", "/all
 
 class _PayloadTooLarge(Exception):
     """Content-Length above :data:`MAX_BODY_BYTES` (mapped to 413)."""
+
+
+class _RequestTimeout(Exception):
+    """A body read that stalled or came up short (mapped to 408)."""
 
 
 def job_from_dict(data: dict[str, Any]) -> Job:
@@ -134,6 +147,13 @@ class _Handler(BaseHTTPRequestHandler):
     @property
     def service(self) -> AllocationService:
         return self.server.service  # type: ignore[attr-defined]
+
+    def setup(self) -> None:
+        # Per-connection socket timeout (StreamRequestHandler honours
+        # self.timeout in setup): a client that stalls mid-request gets a
+        # 408 instead of pinning this handler thread indefinitely.
+        self.timeout = getattr(self.server, "request_timeout", None)
+        super().setup()
 
     def log_message(self, fmt: str, *args) -> None:  # pragma: no cover - noise control
         if not getattr(self.server, "quiet", False):
@@ -191,7 +211,16 @@ class _Handler(BaseHTTPRequestHandler):
             raise _PayloadTooLarge(f"request body of {length} bytes exceeds {MAX_BODY_BYTES}")
         if length <= 0:
             return {}
-        raw = self.rfile.read(length)
+        try:
+            raw = self.rfile.read(length)
+        except TimeoutError as exc:
+            raise _RequestTimeout(f"timed out reading request body: {exc}") from None
+        if len(raw) < length:
+            # The peer closed (or stalled past the socket timeout) before
+            # delivering its declared Content-Length.
+            raise _RequestTimeout(
+                f"incomplete request body ({len(raw)} of {length} declared bytes)"
+            )
         data = json.loads(raw.decode())
         if not isinstance(data, dict):
             raise SchemaError("request body must be a JSON object")
@@ -244,6 +273,9 @@ class _Handler(BaseHTTPRequestHandler):
                 self._fail(404, "not_found", f"unknown path {self.path!r}")
         except SchemaError as exc:
             self._fail(400, "bad_request", str(exc))
+        except ServiceClosed as exc:
+            self.close_connection = True
+            self._fail(503, "unavailable", str(exc))
         except Exception as exc:  # noqa: BLE001 - surfaced to the client
             self._fail(500, "internal", f"{type(exc).__name__}: {exc}")
 
@@ -276,6 +308,14 @@ class _Handler(BaseHTTPRequestHandler):
             # connection rather than let keep-alive parse it as a request.
             self.close_connection = True
             self._fail(413, "payload_too_large", str(exc))
+        except _RequestTimeout as exc:
+            # The stream is mid-body and unsynchronizable; answer once on
+            # a connection marked for close.
+            self.close_connection = True
+            self._fail(408, "request_timeout", str(exc))
+        except ServiceClosed as exc:
+            self.close_connection = True
+            self._fail(503, "unavailable", str(exc))
         except (SchemaError, StateError, ValueError, json.JSONDecodeError) as exc:
             self._fail(400, "bad_request", str(exc))
         except Exception as exc:  # noqa: BLE001
@@ -297,6 +337,9 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(202, {"pending_events": pending})
             else:
                 self._fail(404, "not_found", f"unknown path {self.path!r}")
+        except ServiceClosed as exc:
+            self.close_connection = True
+            self._fail(503, "unavailable", str(exc))
         except (SchemaError, StateError, ValueError) as exc:
             self._fail(400, "bad_request", str(exc))
         except Exception as exc:  # noqa: BLE001
@@ -344,14 +387,26 @@ class ServiceServer(ThreadingHTTPServer):
     Runs a background *flusher* thread so batches apply within
     ``max_delay`` even when no request forces them.  Use as a context
     manager or call :meth:`shutdown` (both stop the flusher).
+    ``request_timeout`` is the per-connection socket budget: a client
+    stalled that long mid-request is answered 408 (mid-body) or dropped
+    (idle between requests).
     """
 
     daemon_threads = True
 
-    def __init__(self, service: AllocationService, host: str = "127.0.0.1", port: int = 0, *, quiet: bool = True):
+    def __init__(
+        self,
+        service: AllocationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        quiet: bool = True,
+        request_timeout: float | None = 30.0,
+    ):
         super().__init__((host, port), _Handler)
         self.service = service
         self.quiet = quiet
+        self.request_timeout = request_timeout
         self._stop = threading.Event()
         self._flusher = threading.Thread(target=self._flush_loop, name="amf-flusher", daemon=True)
         self._flusher.start()
@@ -380,16 +435,43 @@ class ServiceServer(ThreadingHTTPServer):
         super().__exit__(*exc_info)
 
 
-def serve(service: AllocationService, host: str = "127.0.0.1", port: int = 8080, *, quiet: bool = False) -> None:
-    """Blocking entry point used by ``python -m repro.cli serve``."""
-    with ServiceServer(service, host, port, quiet=quiet) as server:
+def serve(
+    service: AllocationService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    quiet: bool = False,
+    request_timeout: float | None = 30.0,
+) -> None:
+    """Blocking entry point used by ``python -m repro.cli serve``.
+
+    ``SIGTERM``/``SIGINT`` trigger a graceful stop: the listener closes
+    (no new requests), the pending batch drains into the state — flushing
+    the touched-sites journal — and a distributed backend's worker pool is
+    disconnected (see :meth:`AllocationService.close`).
+    """
+    with ServiceServer(service, host, port, quiet=quiet, request_timeout=request_timeout) as server:
         print(f"repro-amf service listening on http://{host}:{server.port}")
         print(
             "endpoints: GET /v1/health /v1/stats /v1/metrics /v1/traces /v1/jobs /v1/spec | "
             "POST /v1/allocate /v1/jobs /v1/capacity | DELETE /v1/jobs/<name> "
             "(unversioned aliases deprecated)"
         )
+
+        def _graceful(signum, frame):  # noqa: ARG001 - signal API
+            # shutdown() joins serve_forever's loop, so it must run off
+            # the main thread (which is inside that loop right now).
+            threading.Thread(target=server.shutdown, name="amf-shutdown", daemon=True).start()
+
+        try:
+            signal.signal(signal.SIGTERM, _graceful)
+            signal.signal(signal.SIGINT, _graceful)
+        except ValueError:  # pragma: no cover - not the main thread
+            pass
         try:
             server.serve_forever()
         except KeyboardInterrupt:  # pragma: no cover - interactive only
-            print("\nshutting down")
+            pass
+        finally:
+            service.close()
+            print("\nshutting down: batch drained, state journal flushed")

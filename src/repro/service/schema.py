@@ -22,6 +22,7 @@ from typing import Any, Mapping
 from repro.model.job import Job
 
 __all__ = [
+    "MAX_BODY_BYTES",
     "SchemaError",
     "JobSpec",
     "CapacitySpec",
@@ -30,6 +31,11 @@ __all__ = [
     "error_envelope",
     "API_SPEC",
 ]
+
+#: Largest accepted request body (HTTP answers 413 above it) — also the
+#: frame ceiling of the distributed wire protocol (:mod:`repro.dist
+#: .protocol`), so one limit bounds every byte stream the system parses.
+MAX_BODY_BYTES = 4 << 20
 
 #: ``GET /v1/jobs`` pagination bounds (documented in docs/api.md).
 DEFAULT_LIMIT = 100
@@ -217,8 +223,10 @@ API_SPEC: dict[str, Any] = {
         "codes": {
             "bad_request": "400 — malformed JSON, schema violation, non-finite number",
             "not_found": "404 — unknown path or unknown job name",
+            "request_timeout": "408 — body read stalled or shorter than Content-Length",
             "payload_too_large": "413 — request body above the size limit",
             "internal": "500 — unexpected server fault (class name in message)",
+            "unavailable": "503 — service draining for shutdown; retry against a fresh instance",
         },
     },
     "pagination": {

@@ -107,3 +107,48 @@ def test_repro_workers_env_used_when_unset(monkeypatch):
     set_default_workers(None)
     assert os.environ["REPRO_WORKERS"] == "1"
     assert parallel_map(_square, [2], workers=None) == [4]
+
+
+class TestForkFallbackTelemetry:
+    """parallel_map degrading to serial must be visible: one warning per
+    process plus a repro_parallel_fallback_total bump per degradation."""
+
+    def test_warns_once_and_counts_every_fallback(self, monkeypatch):
+        import warnings
+
+        from repro.analysis import parallel as pmod
+        from repro.obs.instruments import PARALLEL_FALLBACK
+        from repro.obs.registry import REGISTRY
+
+        monkeypatch.setattr(pmod, "_fork_available", lambda: False)
+        monkeypatch.setattr(pmod, "_WARNED_NO_FORK", False)
+        # _resolve clamps to os.cpu_count(); pin it so a 1-CPU CI machine
+        # still exercises the wanted-parallelism-got-serial path
+        monkeypatch.setattr(pmod, "_resolve", lambda w: 4)
+        REGISTRY.reset()
+        REGISTRY.enable()
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                assert parallel_map(_square, [1, 2, 3], workers=4) == [1, 4, 9]
+                assert parallel_map(_square, [4, 5], workers=4) == [16, 25]
+            fallback_warnings = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+            assert len(fallback_warnings) == 1
+            assert "fork" in str(fallback_warnings[0].message)
+            assert PARALLEL_FALLBACK.value == 2.0
+        finally:
+            REGISTRY.reset()
+            REGISTRY.disable()
+
+    def test_serial_request_never_warns(self, monkeypatch):
+        import warnings
+
+        from repro.analysis import parallel as pmod
+
+        monkeypatch.setattr(pmod, "_fork_available", lambda: False)
+        monkeypatch.setattr(pmod, "_WARNED_NO_FORK", False)
+        monkeypatch.setattr(pmod, "_resolve", lambda w: 1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert parallel_map(_square, [1, 2], workers=1) == [1, 4]
+        assert [w for w in caught if issubclass(w.category, RuntimeWarning)] == []

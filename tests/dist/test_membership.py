@@ -1,0 +1,147 @@
+"""HeartbeatMonitor: miss counting, death declaration, recovery resets.
+
+The monitor is tested with plain fakes (probes are just callables), which
+is exactly why it was factored protocol-free: consecutive-miss semantics
+are timing-free assertions here, no sockets or sleeps involved."""
+
+import pytest
+
+from repro._util import require
+from repro.dist.membership import HeartbeatMonitor, WorkerInfo
+
+
+class FlakyProbe:
+    """A probe scripted with a list of outcomes (True = answer)."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+
+    def __call__(self):
+        ok = self.outcomes.pop(0) if self.outcomes else True
+        if not ok:
+            raise ConnectionError("scripted miss")
+        return "pong"
+
+
+class Recorder:
+    def __init__(self):
+        self.dead: list[tuple[str, str]] = []
+        self.alive: list[str] = []
+        self.missed: list[str] = []
+
+    def on_dead(self, worker_id, reason):
+        self.dead.append((worker_id, reason))
+
+    def on_alive(self, worker_id, result):
+        self.alive.append(worker_id)
+
+    def on_miss(self, worker_id):
+        self.missed.append(worker_id)
+
+
+def monitor_for(probes, rec, *, miss_threshold=3):
+    return HeartbeatMonitor(
+        lambda: [(wid, p) for wid, p in probes.items()],
+        rec.on_dead,
+        on_alive=rec.on_alive,
+        on_miss=rec.on_miss,
+        interval=0.01,
+        miss_threshold=miss_threshold,
+    )
+
+
+class TestProbeRounds:
+    def test_consecutive_misses_declare_dead(self):
+        rec = Recorder()
+        probes = {"w0": FlakyProbe([False, False, False])}
+        mon = monitor_for(probes, rec)
+        for _ in range(3):
+            mon.probe_once()
+        assert [w for w, _ in rec.dead] == ["w0"]
+        assert "3 consecutive heartbeat misses" in rec.dead[0][1]
+        assert rec.missed == ["w0", "w0", "w0"]
+
+    def test_success_resets_the_streak(self):
+        rec = Recorder()
+        # miss, miss, answer, miss, miss: never 3 consecutive
+        probes = {"w0": FlakyProbe([False, False, True, False, False])}
+        mon = monitor_for(probes, rec)
+        for _ in range(5):
+            mon.probe_once()
+        assert rec.dead == []
+        assert mon.misses_for("w0") == 2
+        assert rec.alive == ["w0"]
+
+    def test_declared_once_never_reprobed(self):
+        rec = Recorder()
+        probe = FlakyProbe([False] * 10)
+        mon = monitor_for({"w0": probe}, rec, miss_threshold=2)
+        for _ in range(6):
+            mon.probe_once()
+        assert len(rec.dead) == 1
+        # two probes consumed the streak; the other four rounds skipped it
+        assert len(probe.outcomes) == 8
+
+    def test_independent_streaks_per_worker(self):
+        rec = Recorder()
+        probes = {
+            "good": FlakyProbe([True] * 5),
+            "bad": FlakyProbe([False] * 5),
+        }
+        mon = monitor_for(probes, rec)
+        for _ in range(5):
+            mon.probe_once()
+        assert [w for w, _ in rec.dead] == ["bad"]
+        assert set(rec.alive) == {"good"}
+
+    def test_threshold_one_is_immediate(self):
+        rec = Recorder()
+        mon = monitor_for({"w0": FlakyProbe([False])}, rec, miss_threshold=1)
+        mon.probe_once()
+        assert [w for w, _ in rec.dead] == ["w0"]
+
+
+class TestLifecycle:
+    def test_background_thread_declares_dead(self):
+        import time
+
+        rec = Recorder()
+        mon = monitor_for({"w0": FlakyProbe([False] * 50)}, rec, miss_threshold=2)
+        mon.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while not rec.dead and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            mon.stop()
+        assert [w for w, _ in rec.dead] == ["w0"]
+
+    def test_start_is_idempotent_and_stop_joins(self):
+        rec = Recorder()
+        mon = monitor_for({}, rec)
+        mon.start()
+        mon.start()
+        mon.stop()
+        assert mon._thread is None
+
+    def test_validation(self):
+        rec = Recorder()
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(lambda: [], rec.on_dead, interval=0.0)
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(lambda: [], rec.on_dead, miss_threshold=0)
+
+
+def test_worker_info_to_dict_round():
+    info = WorkerInfo(worker_id="w0", address=("127.0.0.1", 9001), solves=3)
+    d = info.to_dict()
+    assert d["worker_id"] == "w0"
+    assert d["address"] == "127.0.0.1:9001"
+    assert d["alive"] is True
+    assert d["solves"] == 3
+
+
+def test_require_helper_sanity():
+    # the monitor leans on require() for knob validation
+    with pytest.raises(ValueError):
+        require(False, "boom")

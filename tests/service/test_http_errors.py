@@ -298,3 +298,106 @@ class TestWireRoundTrip:
         poisoned = dict(workload, **{site: bad})
         with pytest.raises((StateError, ValueError)):
             job_from_dict({"name": "j", "workload": poisoned})
+
+
+class TestRequestTimeout408:
+    """A client that stalls mid-body (or under-delivers its declared
+    Content-Length) gets the uniform envelope with 408, on a connection
+    marked close — and the server stays alive for the next client."""
+
+    @pytest.fixture
+    def fast_server(self):
+        REGISTRY.reset()
+        state = ClusterState([Site("a", 2.0)])
+        service = AllocationService(state, max_delay=0.005, observability=False)
+        srv = ServiceServer(service, port=0, quiet=True, request_timeout=0.5)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        yield srv
+        srv.shutdown()
+        thread.join(timeout=5)
+
+    def _post_partial(self, srv, declared: int, sent: bytes, *, close_early: bool):
+        import socket
+
+        sock = socket.create_connection(("127.0.0.1", srv.port), timeout=10)
+        try:
+            sock.sendall(
+                b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\n"
+                + f"Content-Length: {declared}\r\n\r\n".encode()
+                + sent
+            )
+            if close_early:
+                sock.shutdown(socket.SHUT_WR)
+            # a 408 is always Connection: close, so EOF delimits the response
+            chunks = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    return chunks
+                chunks += chunk
+        finally:
+            sock.close()
+
+    def test_short_body_answers_408_envelope(self, fast_server):
+        raw = self._post_partial(fast_server, declared=500, sent=b'{"jobs', close_early=True)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"408" in head.splitlines()[0]
+        assert b"Connection: close" in head
+        envelope = json.loads(body)
+        assert envelope["error"]["code"] == "request_timeout"
+        assert "incomplete request body" in envelope["error"]["message"]
+        assert_alive(fast_server)
+
+    def test_stalled_body_answers_408_after_timeout(self, fast_server):
+        # never send the rest, never close: the socket timeout must fire
+        raw = self._post_partial(fast_server, declared=500, sent=b'{"jo', close_early=False)
+        assert b"408" in raw.splitlines()[0]
+        assert b"request_timeout" in raw
+        assert_alive(fast_server)
+
+    def test_spec_documents_the_new_codes(self, fast_server):
+        status, spec = call(fast_server, "GET", "/v1/spec")
+        assert status == 200
+        codes = spec["error_envelope"]["codes"]
+        assert "request_timeout" in codes and "unavailable" in codes
+
+
+class TestGracefulShutdown503:
+    def test_closed_service_answers_503_envelope(self, server):
+        status, payload = call(server, "POST", "/jobs", {"name": "j", "workload": {"a": 1.0}})
+        assert status == 202
+        server.service.close()
+        assert server.service.pending() == 0  # queue drained into the state
+        status, payload = call(
+            server, "POST", "/jobs", {"name": "k", "workload": {"a": 1.0}}
+        )
+        assert status == 503
+        assert payload["error"]["code"] == "unavailable"
+        status, payload = call(server, "GET", "/jobs")
+        assert status == 503
+
+    def test_close_drains_queue_and_flushes_journal(self):
+        state = ClusterState([Site("a", 2.0)])
+        service = AllocationService(state, max_delay=60.0, observability=False)
+        service.submit_all(
+            [__import__("repro.service.state", fromlist=["JobArrived"]).JobArrived(
+                Job(f"j{i}", {"a": 1.0})
+            ) for i in range(3)]
+        )
+        version_before = state.version
+        service.close()
+        assert state.n_jobs == 3  # pending batch applied, not dropped
+        assert state.touched_sites_since(version_before) == frozenset({"a"})
+        service.close()  # idempotent
+
+    def test_submit_after_close_raises(self):
+        from repro.service.daemon import ServiceClosed
+        from repro.service.state import JobArrived
+
+        service = AllocationService(ClusterState([Site("a", 2.0)]), observability=False)
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.submit(JobArrived(Job("j", {"a": 1.0})))
+        with pytest.raises(ServiceClosed):
+            service.allocation()
