@@ -37,7 +37,6 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.amf import AmfDiagnostics, amf_levels, amf_levels_bisect  # noqa: E402
 from repro.flownet.arrayflow import ArrayFlowGraph  # noqa: E402
-from repro.flownet.bipartite import build_network  # noqa: E402
 from repro.service.solver import IncrementalAmfSolver  # noqa: E402
 from repro.service.state import ClusterState  # noqa: E402
 from repro.workload.arrivals import ArrivalSpec, generate_churn_schedule  # noqa: E402
@@ -100,6 +99,56 @@ def stage_flow_probe(scale: float, repeats: int) -> dict:
         "parametric_ms": total_par,
         "speedup": total_legacy / total_par,
         "ratio": total_par / total_legacy,  # the machine-independent gate metric
+    }
+
+
+def stage_breakpoint_axis(scale: float, repeats: int) -> dict:
+    """Warm-probe gain as a function of leximin breakpoint *count*.
+
+    :func:`repro.workload.generator.breakpoint_ladder` instances isolate the
+    axis the F8 sizes hide: Zipf workloads collapse to a handful of distinct
+    levels, ladders have exactly ``k``.  Bisection probe counts scale with
+    the number of distinct levels, so this is where warm reuse compounds.
+    Kept to small ``k`` here — the legacy arm rebuilds a pointer network per
+    probe and is quadratic-ish along this axis (benchmarks/bench_pr8.py owns
+    the large-``k`` story against the ggt sweep).
+    """
+    from repro.workload.generator import breakpoint_ladder
+
+    ks = [k for k in (4, 8, 16) if k <= max(8, int(round(16 * scale)))]
+    rows = []
+    for k in ks:
+        cluster = breakpoint_ladder(k)
+        timings = {"legacy": [], "parametric": []}
+        ref_levels = None
+        for oracle in ("legacy", "parametric"):
+            levels = None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                levels = amf_levels_bisect(cluster, tol=1e-6, oracle=oracle)
+                timings[oracle].append(time.perf_counter() - t0)
+            if oracle == "legacy":
+                ref_levels = levels
+            else:
+                np.testing.assert_allclose(levels, ref_levels, atol=1e-7, rtol=1e-7)
+        legacy_ms = 1e3 * min(timings["legacy"])
+        parametric_ms = 1e3 * min(timings["parametric"])
+        rows.append(
+            {
+                "breakpoints": k,
+                "n_jobs": cluster.n_jobs,
+                "legacy_ms": legacy_ms,
+                "parametric_ms": parametric_ms,
+                "speedup": legacy_ms / parametric_ms,
+            }
+        )
+    total_legacy = sum(r["legacy_ms"] for r in rows)
+    total_par = sum(r["parametric_ms"] for r in rows)
+    return {
+        "rows": rows,
+        "legacy_ms": total_legacy,
+        "parametric_ms": total_par,
+        "speedup": total_legacy / total_par,
     }
 
 
@@ -254,12 +303,14 @@ def main(argv: list[str] | None = None) -> int:
         "repeats": args.repeats,
         "stages": {
             "flow_probe": stage_flow_probe(args.scale, args.repeats),
+            "breakpoint_axis": stage_breakpoint_axis(args.scale, args.repeats),
             "kernel": stage_kernel(args.scale, args.repeats),
             "service": stage_service(args.scale),
         },
     }
     result["summary"] = {
         "flow_probe_speedup": result["stages"]["flow_probe"]["speedup"],
+        "breakpoint_axis_speedup": result["stages"]["breakpoint_axis"]["speedup"],
         "kernel_speedup": result["stages"]["kernel"]["speedup"],
         "service_p50_speedup": result["stages"]["service"]["p50_speedup"],
     }

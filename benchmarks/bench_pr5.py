@@ -119,6 +119,55 @@ def stage_decomposition(scale: float, repeats: int, workers: int) -> dict:
     }
 
 
+def stage_breakpoint_axis(scale: float, repeats: int) -> dict:
+    """Decomposition gain as a function of leximin breakpoint *count*.
+
+    :func:`repro.workload.generator.breakpoint_ladder` rungs use disjoint
+    site sets, so the ladder is natively shardable: a ``k``-level instance
+    splits into independent components the sharded solver handles with tiny
+    per-component probes while the monolithic arm pays a whole-instance
+    max-flow per level.  Aggregates are asserted equal, serially sharded so
+    the number is fan-out-free.
+    """
+    from repro.workload.generator import breakpoint_ladder
+
+    ks = [k for k in (16, 64) if k <= max(16, int(round(64 * scale)))]
+    rows = []
+    for k in ks:
+        cluster = breakpoint_ladder(k)
+        timings: dict[str, list[float]] = {"monolithic": [], "sharded": []}
+        allocs = {}
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            allocs["monolithic"] = solve_amf(cluster)
+            timings["monolithic"].append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            allocs["sharded"] = solve_amf_sharded(cluster, workers=None)
+            timings["sharded"].append(time.perf_counter() - t0)
+        np.testing.assert_allclose(
+            allocs["sharded"].aggregates, allocs["monolithic"].aggregates, atol=1e-7, rtol=1e-7
+        )
+        mono_ms = 1e3 * min(timings["monolithic"])
+        shard_ms = 1e3 * min(timings["sharded"])
+        rows.append(
+            {
+                "breakpoints": k,
+                "shards": len(decompose(cluster)),
+                "monolithic_ms": mono_ms,
+                "sharded_ms": shard_ms,
+                "speedup": mono_ms / shard_ms,
+            }
+        )
+    total_mono = sum(r["monolithic_ms"] for r in rows)
+    total_shard = sum(r["sharded_ms"] for r in rows)
+    return {
+        "rows": rows,
+        "monolithic_ms": total_mono,
+        "sharded_ms": total_shard,
+        "speedup": total_mono / total_shard,
+    }
+
+
 def stage_service(scale: float, workers: int) -> dict:
     """Churn confined to one block: per-shard caching vs monolithic re-solves."""
     k = 8
@@ -183,12 +232,14 @@ def main(argv: list[str] | None = None) -> int:
         "repeats": args.repeats,
         "stages": {
             "decomposition": stage_decomposition(args.scale, args.repeats, args.workers),
+            "breakpoint_axis": stage_breakpoint_axis(args.scale, args.repeats),
             "service": stage_service(args.scale, args.workers),
         },
     }
     result["summary"] = {
         "decomposition_speedup_serial": result["stages"]["decomposition"]["speedup_serial"],
         "decomposition_speedup_workers": result["stages"]["decomposition"]["speedup_workers"],
+        "breakpoint_axis_speedup": result["stages"]["breakpoint_axis"]["speedup"],
         "service_p50_speedup": result["stages"]["service"]["p50_speedup"],
     }
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")

@@ -1,0 +1,186 @@
+"""GGT sweep benchmark: one-shot breakpoint recovery vs warm per-level probing.
+
+Standalone (no pytest) so CI and developers get one machine-readable
+artifact::
+
+    PYTHONPATH=src python benchmarks/bench_pr8.py --out BENCH_PR8.json
+
+The axis is the *breakpoint count*: :func:`repro.workload.generator
+.breakpoint_ladder` instances with ``k = 4 .. 256`` distinct leximin levels.
+Classic Zipf instances collapse to a handful of levels, which hides what a
+one-shot sweep buys; the ladder isolates it.
+
+Two stages, each an A/B on identical instances with exact level equality
+asserted (the solvers must agree to the last bit, not approximately):
+
+* ``flow_probe`` — ``amf_levels_bisect(tol=1e-6)`` with the ``ggt`` oracle
+  vs plain ``parametric``.  Bisection is probe-dominated (every level costs
+  a log-sweep of feasibility probes), so this is where the sweep's
+  cut-family pays: the headline number is the per-``k`` speedup and it must
+  *grow* along the axis.
+* ``fill`` — ``amf_levels`` the same way.  Reported for honesty, not gated:
+  progressive filling's wall clock is dominated by cutting-plane pool
+  arithmetic that is oracle-independent (docs/performance.md, layer 5), so
+  the achievable ratio is structurally capped near 1x.
+
+``--baseline BENCH_PR8.json`` turns the run into a regression gate: the
+*dimensionless* ggt/parametric time ratio of the flow_probe stage is
+compared against the baseline's ratio (machine-speed independent) and the
+process exits non-zero if it regressed by more than ``--max-regression``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.amf import AmfDiagnostics, amf_levels, amf_levels_bisect  # noqa: E402
+from repro.workload.generator import breakpoint_ladder  # noqa: E402
+
+#: The breakpoint axis (distinct leximin levels per instance).
+BREAKPOINTS = (4, 16, 64, 256)
+
+#: Bisection tolerance for the A/B.  1e-6 keeps both oracles on the same
+#: bisection trajectory; at 1e-9 the final interval is narrower than the
+#: oracles' warm-state float noise, so bit-identity is not well-posed there
+#: (docs/performance.md, layer 5).
+BISECT_TOL = 1e-6
+
+
+def _axis(scale: float) -> list[int]:
+    top = max(BREAKPOINTS[0], int(round(BREAKPOINTS[-1] * scale)))
+    return [k for k in BREAKPOINTS if k <= top]
+
+
+def _counters(diag: AmfDiagnostics) -> dict:
+    return {
+        "feasibility_solves": diag.feasibility_solves,
+        "probes_warm": diag.probes_warm,
+        "probes_cold": diag.probes_cold,
+        "probes_early_accept": diag.probes_early_accept,
+        "probes_cut_reject": diag.probes_cut_reject,
+        "ggt_sweeps": diag.ggt_sweeps,
+        "ggt_sweep_flows": diag.ggt_sweep_flows,
+        "ggt_breakpoints": diag.ggt_breakpoints,
+        "ggt_flows_avoided": diag.ggt_flows_avoided,
+    }
+
+
+def _stage(scale: float, repeats: int, solve) -> dict:
+    rows = []
+    for k in _axis(scale):
+        cluster = breakpoint_ladder(k)
+        timings: dict[str, list[float]] = {"parametric": [], "ggt": []}
+        counters = {}
+        levels: dict[str, np.ndarray] = {}
+        for oracle in ("parametric", "ggt"):
+            for _ in range(repeats):
+                diag = AmfDiagnostics()
+                t0 = time.perf_counter()
+                levels[oracle] = solve(cluster, diag, oracle)
+                timings[oracle].append(time.perf_counter() - t0)
+            counters[oracle] = _counters(diag)
+        if not (levels["ggt"] == levels["parametric"]).all():
+            raise AssertionError(f"k={k}: ggt levels differ from parametric (bit-identity broken)")
+        par_ms = 1e3 * min(timings["parametric"])
+        ggt_ms = 1e3 * min(timings["ggt"])
+        rows.append(
+            {
+                "breakpoints": k,
+                "n_jobs": cluster.n_jobs,
+                "n_sites": cluster.n_sites,
+                "parametric_ms": par_ms,
+                "ggt_ms": ggt_ms,
+                "speedup": par_ms / ggt_ms,
+                "counters": counters,
+            }
+        )
+    total_par = sum(r["parametric_ms"] for r in rows)
+    total_ggt = sum(r["ggt_ms"] for r in rows)
+    return {
+        "rows": rows,
+        "parametric_ms": total_par,
+        "ggt_ms": total_ggt,
+        "speedup": total_par / total_ggt,
+        "speedup_at_max_k": rows[-1]["speedup"],
+        "ratio": total_ggt / total_par,  # the machine-independent gate metric
+    }
+
+
+def stage_flow_probe(scale: float, repeats: int) -> dict:
+    """Bisection (probe-dominated): ggt vs parametric along the k axis."""
+
+    def solve(cluster, diag, oracle):
+        return amf_levels_bisect(cluster, tol=BISECT_TOL, diagnostics=diag, oracle=oracle)
+
+    return _stage(scale, repeats, solve)
+
+
+def stage_fill(scale: float, repeats: int) -> dict:
+    """Progressive filling (pool-arithmetic-dominated): reported, not gated."""
+
+    def solve(cluster, diag, oracle):
+        return amf_levels(cluster, diagnostics=diag, oracle=oracle)
+
+    return _stage(scale, repeats, solve)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", type=float, default=1.0, help="breakpoint-axis scale (1.0 = up to k=256)")
+    ap.add_argument("--repeats", type=int, default=3, help="timed repeats (min is reported)")
+    ap.add_argument("--out", default="BENCH_PR8.json", help="output JSON path")
+    ap.add_argument("--baseline", help="committed BENCH_PR8.json to gate against")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=1.5,
+        help="fail if the flow-probe ggt/parametric ratio exceeds baseline by this factor",
+    )
+    args = ap.parse_args(argv)
+
+    result = {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "breakpoints": _axis(args.scale),
+        "stages": {
+            "flow_probe": stage_flow_probe(args.scale, args.repeats),
+            "fill": stage_fill(args.scale, args.repeats),
+        },
+    }
+    result["summary"] = {
+        "flow_probe_speedup": result["stages"]["flow_probe"]["speedup"],
+        "flow_probe_speedup_at_max_k": result["stages"]["flow_probe"]["speedup_at_max_k"],
+        "fill_speedup": result["stages"]["fill"]["speedup"],
+    }
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for row in result["stages"]["flow_probe"]["rows"]:
+        print(f"  bisect k={row['breakpoints']:>4}: {row['speedup']:.2f}x")
+    for stage, speedup in result["summary"].items():
+        print(f"  {stage}: {speedup:.2f}x")
+
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        base_ratio = baseline["stages"]["flow_probe"]["ratio"]
+        fresh_ratio = result["stages"]["flow_probe"]["ratio"]
+        limit = args.max_regression * base_ratio
+        print(
+            f"regression gate: ggt/parametric ratio {fresh_ratio:.3f} "
+            f"vs baseline {base_ratio:.3f} (limit {limit:.3f})"
+        )
+        if fresh_ratio > limit:
+            print("FAIL: flow-probe ratio regressed beyond the gate", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

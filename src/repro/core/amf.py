@@ -48,7 +48,7 @@ from repro.core.allocation import Allocation, scrub_matrix
 from repro.flownet.bipartite import build_network
 from repro.flownet.parametric import ParametricFeasibility
 from repro.model.cluster import Cluster
-from repro.obs.instruments import record_amf
+from repro.obs.instruments import record_amf, record_ggt_sweep_depth
 from repro.obs.registry import REGISTRY
 from repro.obs.tracing import TRACER, span
 
@@ -85,6 +85,12 @@ class AmfDiagnostics:
     probes_cold: int = 0  # flow solves starting from zero flow
     probe_rollbacks: int = 0  # probes that cancelled flow before solving
     jobs_folded: int = 0  # degree-1 jobs folded out of the flow network
+    # GGT one-shot sweep (all zero unless oracle="ggt")
+    ggt_sweeps: int = 0  # parametric sweeps run
+    ggt_sweep_flows: int = 0  # flow solves paid by sweeps (incl. contracted)
+    ggt_contractions: int = 0  # contracted subgraph views built
+    ggt_breakpoints: int = 0  # leximin breakpoints recovered by sweeps
+    ggt_flows_avoided: int = 0  # post-sweep probes answered without a flow
 
     @property
     def probes_reused(self) -> int:
@@ -385,12 +391,26 @@ class _FeasibilityAdapter:
     ``targets_at`` / ``feasible`` closures).
 
     ``backend`` selects the warm :class:`ParametricFeasibility` engine
-    (``"parametric"``, the default) or the original cold-restart
+    (``"parametric"``, the default), the GGT one-shot sweep oracle
+    (``"ggt"``, :class:`~repro.flownet.ggt.GgtFeasibility` — same verdicts,
+    but the whole breakpoint schedule is recovered up front so feasible
+    probes stop paying flow solves), or the original cold-restart
     :class:`~repro.flownet.bipartite.FeasibilityNetwork` (``"legacy"``,
     kept as the control arm for benchmarks and A/B tests).
     """
 
-    __slots__ = ("cluster", "floors", "caps", "weights", "levels", "frozen", "diag", "oracle", "network")
+    __slots__ = (
+        "cluster",
+        "floors",
+        "caps",
+        "weights",
+        "levels",
+        "frozen",
+        "diag",
+        "oracle",
+        "network",
+        "_finished",
+    )
 
     def __init__(
         self,
@@ -402,7 +422,7 @@ class _FeasibilityAdapter:
         basis: CutBasis | None = None,
         backend: str = "parametric",
     ):
-        require(backend in ("parametric", "legacy"), f"unknown feasibility backend {backend!r}")
+        require(backend in ("parametric", "legacy", "ggt"), f"unknown feasibility backend {backend!r}")
         self.cluster = cluster
         self.floors = floors
         self.caps = caps
@@ -410,9 +430,16 @@ class _FeasibilityAdapter:
         self.levels = floors.copy()  # frozen jobs keep their entry; active entries are provisional
         self.frozen = np.zeros(cluster.n_jobs, dtype=bool)
         self.diag = diag
-        if backend == "parametric":
+        self._finished = False
+        if backend == "ggt":
+            from repro.flownet.ggt import GgtFeasibility  # lazy: ggt imports this module
+
             cut_sets = basis.instantiate(cluster) if basis is not None else ()
-            self.oracle: ParametricFeasibility | None = ParametricFeasibility(cluster, cut_sets)
+            self.oracle = GgtFeasibility(cluster, cut_sets, floors=floors)
+            self.network = None
+        elif backend == "parametric":
+            cut_sets = basis.instantiate(cluster) if basis is not None else ()
+            self.oracle = ParametricFeasibility(cluster, cut_sets)
             self.network = None
         else:
             self.oracle = None
@@ -437,9 +464,16 @@ class _FeasibilityAdapter:
         return outcome.feasible, outcome.cut_jobs, outcome.cut_sites
 
     def finish(self) -> None:
-        """Fold the oracle's reuse counters into the diagnostics record."""
-        if self.oracle is None:
+        """Fold the oracle's reuse counters into the diagnostics record.
+
+        Idempotent: the fill loops call it from ``finally`` blocks so the
+        warm oracle's counters are never leaked on an error path, and a
+        happy-path call followed by the ``finally`` one must not
+        double-count.
+        """
+        if self.oracle is None or self._finished:
             return
+        self._finished = True
         st = self.oracle.stats
         self.diag.probes_early_accept += st.early_accepts
         self.diag.probes_cut_reject += st.cut_rejects
@@ -447,6 +481,15 @@ class _FeasibilityAdapter:
         self.diag.probes_cold += st.cold_solves
         self.diag.probe_rollbacks += st.rollbacks
         self.diag.jobs_folded += st.folded_jobs
+        gg = getattr(self.oracle, "ggt", None)
+        if gg is not None:
+            self.diag.ggt_sweeps += gg.sweeps
+            self.diag.ggt_sweep_flows += gg.sweep_flows
+            self.diag.ggt_contractions += gg.contractions
+            self.diag.ggt_breakpoints += gg.breakpoints
+            self.diag.ggt_flows_avoided += gg.flows_avoided
+            if gg.sweeps:
+                record_ggt_sweep_depth(gg.max_depth)
 
     def realize(self, levels: np.ndarray) -> np.ndarray | None:
         """The flow already carried by the oracle as a ``(n, m)`` split, when
@@ -501,9 +544,13 @@ def amf_levels(
         accelerator: the result is identical with or without it.
     oracle:
         Feasibility backend: ``"parametric"`` (default; warm-started probes
-        on one residual graph, see :mod:`repro.flownet.parametric`) or
-        ``"legacy"`` (cold-restart :class:`FeasibilityNetwork`).  Both return
-        identical verdicts; the choice only affects speed.
+        on one residual graph, see :mod:`repro.flownet.parametric`),
+        ``"ggt"`` (one GGT divide-and-conquer sweep recovers the full
+        λ→breakpoint schedule up front, then freezing replays the schedule
+        analytically — feasible probes stop paying flow solves, see
+        :mod:`repro.flownet.ggt`), or ``"legacy"`` (cold-restart
+        :class:`FeasibilityNetwork`).  All return identical verdicts; the
+        choice only affects speed.
 
     Returns
     -------
@@ -539,6 +586,24 @@ def _fill_levels(
         floors = np.maximum(floors, 0.0)
 
     adapter = _FeasibilityAdapter(cluster, floors, caps, diag, basis=basis, backend=backend)
+    try:
+        return _fill_levels_inner(cluster, floors, caps, weights, diag, basis, adapter)
+    finally:
+        # every exit — including the guard-loop RuntimeErrors — must fold
+        # the warm oracle's probe counters into the diagnostics record
+        adapter.finish()
+
+
+def _fill_levels_inner(
+    cluster: Cluster,
+    floors: np.ndarray,
+    caps: np.ndarray,
+    weights: np.ndarray,
+    diag: AmfDiagnostics,
+    basis: CutBasis | None,
+    adapter: _FeasibilityAdapter,
+) -> tuple[np.ndarray, _FeasibilityAdapter]:
+    n = cluster.n_jobs
     targets_at = adapter.targets_at
     feasible = adapter.feasible
     levels = adapter.levels
@@ -546,7 +611,6 @@ def _fill_levels(
 
     ok, _, _ = feasible(targets_at(0.0))
     if not ok:
-        adapter.finish()
         raise ValueError("floors are infeasible for this cluster")
 
     # Cut constraints are valid for the whole solve (their cross/RHS depend
@@ -633,7 +697,6 @@ def _fill_levels(
     ok, _, _ = feasible(levels)
     if not ok:  # pragma: no cover - guarded by construction
         raise RuntimeError("AMF solver produced infeasible levels")
-    adapter.finish()
     return levels, adapter
 
 
@@ -731,6 +794,21 @@ def _bisect_levels(cluster: Cluster, tol: float, diag: AmfDiagnostics, oracle: s
     caps = cluster.aggregate_demand.copy()
     weights = cluster.weights
     adapter = _FeasibilityAdapter(cluster, np.zeros(n), caps, diag, backend=oracle)
+    try:
+        return _bisect_levels_inner(cluster, tol, diag, adapter, caps, weights)
+    finally:
+        adapter.finish()
+
+
+def _bisect_levels_inner(
+    cluster: Cluster,
+    tol: float,
+    diag: AmfDiagnostics,
+    adapter: _FeasibilityAdapter,
+    caps: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    n = cluster.n_jobs
     targets_at = adapter.targets_at
     levels = adapter.levels
     frozen = adapter.frozen
@@ -769,5 +847,4 @@ def _bisect_levels(cluster: Cluster, tol: float, diag: AmfDiagnostics, oracle: s
         levels[freeze] = new[freeze]
         frozen |= freeze
         lam_lo = lo
-    adapter.finish()
     return levels

@@ -37,13 +37,13 @@ from __future__ import annotations
 import socket
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from repro._util import require
 from repro.core.amf import AmfDiagnostics
-from repro.core.sharding import Shard, ShardBasisPool, ShardResult
+from repro.core.sharding import Shard, ShardBasisPool, ShardResult, merge_diagnostics
 from repro.dist.membership import HeartbeatMonitor, WorkerInfo
 from repro.dist.protocol import (
     ErrorReply,
@@ -85,6 +85,10 @@ class DistStats:
     heartbeat_misses: int = 0
     rpc_seconds: float = 0.0  # cumulative round-trip time
     errors: list[str] = field(default_factory=list)  # bounded failure log
+    # Oracle counters merged from every ShardSolved reply, so the dist
+    # section of ``/v1/stats`` reports the same probes_*/reuse breakdown
+    # the local backend does instead of dropping it at the wire.
+    probes: AmfDiagnostics = field(default_factory=AmfDiagnostics)
 
     MAX_ERRORS = 20
 
@@ -102,6 +106,7 @@ class DistStats:
             "heartbeat_misses": self.heartbeat_misses,
             "rpc_seconds": self.rpc_seconds,
             "errors": list(self.errors[-5:]),
+            "probes": {**asdict(self.probes), "probes_reused": self.probes.probes_reused},
         }
 
 
@@ -505,6 +510,7 @@ class WorkerPool:
             with self._lock:
                 self.stats.rpcs += 1
                 self.stats.rpc_seconds += seconds
+                merge_diagnostics(self.stats.probes, result.diagnostics)
                 self._reseed.discard(shard.key)
                 pooled = self.mirror.basis_for(shard.key)
                 for cut in result.discovered_cuts:

@@ -267,15 +267,20 @@ def run_worker(
     *,
     max_cuts: int = 64,
     worker_id: str | None = None,
+    oracle: str = "parametric",
     quiet: bool = False,
     _conn=None,
 ) -> int:
     """Blocking entry point (``repro.cli worker``): serve until SIGTERM.
 
-    ``_conn`` is the pipe :func:`spawn_local_workers` uses to learn the
-    bound address of a child that asked for an ephemeral port.
+    ``oracle`` is the fallback backend for solve RPCs that do not name
+    one (the coordinator's pool names its own in every request, which
+    wins).  ``_conn`` is the pipe :func:`spawn_local_workers` uses to
+    learn the bound address of a child that asked for an ephemeral port.
     """
-    worker = SolverWorker(host, port, max_cuts=max_cuts, worker_id=worker_id, quiet=quiet)
+    worker = SolverWorker(
+        host, port, max_cuts=max_cuts, worker_id=worker_id, oracle=oracle, quiet=quiet
+    )
     if _conn is not None:
         _conn.send(worker.address)
         _conn.close()

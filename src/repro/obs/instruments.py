@@ -51,8 +51,10 @@ __all__ = [
     "DIST_FAILOVERS",
     "DIST_SHARD_REASSIGNMENTS",
     "DIST_WORKERS_ALIVE",
+    "GGT_RECURSION_DEPTH",
     "PARALLEL_FALLBACK",
     "record_amf",
+    "record_ggt_sweep_depth",
     "record_cache",
     "record_queue_flush",
     "record_shard_decomposition",
@@ -95,6 +97,20 @@ _AMF_COUNTERS = {
     ),
     "jobs_folded": REGISTRY.counter(
         "repro_flow_jobs_folded_total", "degree-1 jobs folded out of the flow network"
+    ),
+    # GGT one-shot sweep (oracle="ggt"); zero on every other backend
+    "ggt_sweeps": REGISTRY.counter("repro_ggt_sweeps_total", "GGT parametric sweeps run"),
+    "ggt_sweep_flows": REGISTRY.counter(
+        "repro_ggt_sweep_flows_total", "flow solves paid inside sweeps (incl. contracted)"
+    ),
+    "ggt_contractions": REGISTRY.counter(
+        "repro_ggt_contractions_total", "contracted subgraph views built by sweep recursion"
+    ),
+    "ggt_breakpoints": REGISTRY.counter(
+        "repro_ggt_breakpoints_total", "leximin breakpoints recovered by sweeps"
+    ),
+    "ggt_flows_avoided": REGISTRY.counter(
+        "repro_ggt_flows_avoided_total", "post-sweep probes answered without a flow solve"
     ),
 }
 
@@ -151,6 +167,14 @@ DIST_SHARD_REASSIGNMENTS = REGISTRY.counter(
 )
 DIST_WORKERS_ALIVE = REGISTRY.gauge("repro_dist_workers_alive", "live workers in the coordinator's pool")
 
+# -- GGT sweep (repro.flownet.ggt) --------------------------------------
+# Depth is a per-sweep observation, not a foldable sum, so it lives in a
+# histogram instead of _AMF_COUNTERS (the divide-and-conquer contract is
+# depth = O(log breakpoints); the distribution makes violations visible).
+GGT_RECURSION_DEPTH = REGISTRY.histogram(
+    "repro_ggt_recursion_depth", "deepest divide-and-conquer level per sweep", start=1.0, factor=2.0, buckets=8
+)
+
 # -- analysis fan-out ----------------------------------------------------
 PARALLEL_FALLBACK = REGISTRY.counter(
     "repro_parallel_fallback_total",
@@ -185,6 +209,11 @@ def record_amf(diag, since=None) -> None:
             value -= getattr(since, field)
         if value:
             counter.inc(value)
+
+
+def record_ggt_sweep_depth(depth: int) -> None:
+    if REGISTRY.enabled and depth > 0:
+        GGT_RECURSION_DEPTH.observe(depth)
 
 
 def record_cache(*, hit: bool, evictions: int = 0) -> None:

@@ -30,7 +30,6 @@ import numpy as np
 from repro._util import require
 from repro.core.allocation import Allocation
 from repro.core.policies import PolicyFn, ResilienceStats, ResilientPolicy
-from repro.model.cluster import Cluster
 from repro.obs import instruments
 from repro.obs.registry import REGISTRY
 from repro.obs.tracing import TRACER, span
@@ -116,12 +115,17 @@ class AllocationService:
         fallbacks: Sequence[str | PolicyFn] = ("amf", "psmf"),
         sharded: bool = True,
         workers: int | None = None,
+        oracle: str = "parametric",
         backend: str = "local",
         pool=None,
         clock: Callable[[], float] = time.monotonic,
         observability: bool = True,
     ):
         require(state.n_sites > 0, "service needs at least one site")
+        require(
+            oracle in ("parametric", "legacy", "ggt"),
+            f"unknown oracle {oracle!r} (parametric, legacy or ggt)",
+        )
         require(backend in ("local", "dist"), f"unknown backend {backend!r} (local or dist)")
         require(
             (backend == "dist") == (pool is not None),
@@ -136,7 +140,11 @@ class AllocationService:
         self.queue = CoalescingQueue(max_delay=max_delay, max_batch=max_batch, clock=clock)
         self.cache = AllocationCache(max_entries=cache_size)
         self.incremental = IncrementalAmfSolver(
-            max_cuts=max_cuts, sharded=sharded or backend == "dist", workers=workers, shard_backend=pool
+            max_cuts=max_cuts,
+            oracle=oracle,
+            sharded=sharded or backend == "dist",
+            workers=workers,
+            shard_backend=pool,
         )
         self._last_touched_sites: frozenset[str] | None = frozenset()
         self.resilience = ResilienceStats()
@@ -336,6 +344,12 @@ class AllocationService:
                     "probes_warm": inc.probes_warm,
                     "probes_cold": inc.probes_cold,
                     "probe_rollbacks": inc.probe_rollbacks,
+                    # GGT sweep breakdown (all zero unless oracle="ggt")
+                    "oracle": self.incremental.oracle,
+                    "ggt_sweeps": inc.ggt_sweeps,
+                    "ggt_sweep_flows": inc.ggt_sweep_flows,
+                    "ggt_breakpoints": inc.ggt_breakpoints,
+                    "ggt_flows_avoided": inc.ggt_flows_avoided,
                 },
                 "cache": {
                     "entries": len(self.cache),

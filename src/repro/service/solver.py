@@ -74,6 +74,11 @@ class IncrementalStats:
     probes_warm: int = 0  # flow solves continuing from existing flow
     probes_cold: int = 0  # flow solves starting from zero flow
     probe_rollbacks: int = 0  # probes that cancelled flow before solving
+    # GGT one-shot sweep (all zero unless oracle="ggt")
+    ggt_sweeps: int = 0  # parametric sweeps run
+    ggt_sweep_flows: int = 0  # flow solves paid inside sweeps
+    ggt_breakpoints: int = 0  # leximin breakpoints recovered by sweeps
+    ggt_flows_avoided: int = 0  # post-sweep probes answered without a flow
     # shard decomposition (all zero when sharded=False)
     shard_solves: int = 0  # components actually solved (cache misses)
     shard_cache_hits: int = 0  # components replayed from the matrix cache
@@ -95,6 +100,10 @@ class IncrementalStats:
         self.probes_warm += diag.probes_warm
         self.probes_cold += diag.probes_cold
         self.probe_rollbacks += diag.probe_rollbacks
+        self.ggt_sweeps += diag.ggt_sweeps
+        self.ggt_sweep_flows += diag.ggt_sweep_flows
+        self.ggt_breakpoints += diag.ggt_breakpoints
+        self.ggt_flows_avoided += diag.ggt_flows_avoided
 
 
 class IncrementalAmfSolver:
@@ -114,6 +123,9 @@ class IncrementalAmfSolver:
         Feasibility backend handed to :func:`solve_amf`; the default
         ``"parametric"`` threads the persistent basis into the oracle's
         cut-screening pool so stored cuts answer probes without a flow solve.
+        ``"ggt"`` layers a one-shot GGT breakpoint sweep on top of the
+        parametric oracle (see docs/performance.md, layer 5): best when the
+        workload has many distinct leximin levels per solve.
     sharded:
         Solve connected components independently with per-shard bases and a
         per-shard matrix cache (see module docstring).  Off by default — the

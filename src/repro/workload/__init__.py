@@ -19,7 +19,12 @@ provides:
 """
 
 from repro.workload.zipf import zipf_probabilities, zipf_sample
-from repro.workload.generator import WorkloadSpec, generate_cluster, generate_jobs
+from repro.workload.generator import (
+    WorkloadSpec,
+    breakpoint_ladder,
+    generate_cluster,
+    generate_jobs,
+)
 from repro.workload.arrivals import ArrivalSpec, generate_arrival_jobs
 from repro.workload.traces import TraceSpec, generate_trace_jobs
 from repro.workload.scenarios import SCENARIOS, get_scenario
@@ -29,6 +34,7 @@ __all__ = [
     "zipf_probabilities",
     "zipf_sample",
     "WorkloadSpec",
+    "breakpoint_ladder",
     "generate_cluster",
     "generate_jobs",
     "ArrivalSpec",

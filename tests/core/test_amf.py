@@ -298,6 +298,27 @@ class TestDiagnostics:
         assert d.rounds >= 1
         assert d.feasibility_solves >= d.rounds
 
+    def test_probe_counters_folded_when_fill_raises(self, two_site_cluster, monkeypatch):
+        """The finally arm must fold oracle stats even on a mid-fill fault;
+        without it an aborted solve silently leaks every probes_* counter."""
+        from repro.flownet.parametric import ParametricFeasibility
+
+        real = ParametricFeasibility.probe
+        calls = {"n": 0}
+
+        def exploding(self, targets, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise RuntimeError("mid-fill fault")
+            return real(self, targets, **kwargs)
+
+        monkeypatch.setattr(ParametricFeasibility, "probe", exploding)
+        d = AmfDiagnostics()
+        with pytest.raises(RuntimeError, match="mid-fill fault"):
+            amf_levels(two_site_cluster, diagnostics=d)
+        folded = d.probes_early_accept + d.probes_cut_reject + d.probes_warm + d.probes_cold
+        assert folded >= 1
+
     def test_solve_amf_policy_label(self, two_site_cluster):
         assert solve_amf(two_site_cluster).policy == "amf"
         floors = np.zeros(3)

@@ -88,6 +88,39 @@ class TestPoolSolve:
             assert np.array_equal(mine.matrix, theirs.matrix)
             assert mine.diagnostics.rounds == theirs.diagnostics.rounds
 
+    def test_reply_probe_stats_merged_into_pool(self, pool):
+        """Satellite of the oracle pipeline: each ShardSolved reply carries
+        the worker's full diagnostics and the pool folds them, so the dist
+        section of /v1/stats reports the same probes_* breakdown the local
+        backend does."""
+        cluster = block_cluster([(3, 2), (2, 3)])
+        shards = decompose(cluster)
+        local = solve_shards(shards)
+        remote = pool.solve_shards(shards)
+        probes = pool.stats_dict()["probes"]
+        for field in ("rounds", "feasibility_solves", "probes_warm", "probes_cold"):
+            assert probes[field] == sum(getattr(r.diagnostics, field) for r in local), field
+        assert probes["probes_reused"] == sum(r.diagnostics.probes_reused for r in local)
+        # and the per-result records round-tripped the wire intact
+        for mine, theirs in zip(local, remote):
+            assert mine.diagnostics == theirs.diagnostics
+
+    def test_ggt_oracle_over_the_wire(self, workers):
+        pool = WorkerPool(
+            [w.address for w in workers], oracle="ggt", heartbeat_interval=0.05
+        ).start()
+        try:
+            cluster = block_cluster([(3, 2), (2, 2)])
+            shards = decompose(cluster)
+            local = solve_shards(shards, oracle="ggt")
+            remote = pool.solve_shards(shards)
+            for mine, theirs in zip(local, remote):
+                assert np.array_equal(mine.matrix, theirs.matrix)
+                assert theirs.diagnostics.ggt_sweeps >= 1
+            assert pool.stats_dict()["probes"]["ggt_sweeps"] == len(shards)
+        finally:
+            pool.stop()
+
     def test_results_in_input_order_and_jobless_skipped(self, pool):
         cluster = block_cluster([(2, 2), (1, 1)])
         shards = decompose(cluster)

@@ -1,0 +1,303 @@
+"""GGT sweep acceptance: bit-identical levels, contraction mechanics, reuse.
+
+The acceptance bar for ``oracle="ggt"``: on any instance — floors, weights,
+degenerate single-breakpoint profiles, fully-disconnected shards —
+``amf_levels(..., oracle="ggt")`` must be *bit-identical* (``==``, not
+allclose) to ``oracle="parametric"``; the sweep is a pure accelerator.
+Bisection joins the bar at ``tol=1e-6`` (at 1e-9 the final interval is
+narrower than warm-state float noise, so bit-identity is not well-posed
+there — docs/performance.md, layer 5).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.amf import AmfDiagnostics, amf_levels, amf_levels_bisect, solve_amf
+from repro.flownet.arrayflow import ArrayFlowGraph
+from repro.flownet.bipartite import build_network
+from repro.flownet.ggt import GgtFeasibility, GgtSweep, sweep_levels
+from repro.model.cluster import Cluster
+from repro.workload.generator import WorkloadSpec, breakpoint_ladder, generate_cluster
+
+
+# ----------------------------------------------------------------------
+# Contraction mechanics (ArrayFlowGraph.contract)
+# ----------------------------------------------------------------------
+def _diamond():
+    #   0 -> 1 -> 3, 0 -> 2 -> 3, 1 -> 2
+    tails = [0, 1, 0, 2, 1]
+    heads = [1, 3, 2, 3, 2]
+    caps = [2.0, 1.0, 1.0, 2.0, 1.0]
+    return ArrayFlowGraph(4, tails, heads, caps)
+
+
+def test_contract_drops_interior_pairs_together():
+    g = _diamond()
+    # merge {0, 1} onto node 0: edge 0->1 (and its twin) become self-loops
+    node_map = np.array([0, 0, 2, 3], dtype=np.int32)
+    view = g.contract(node_map)
+    assert view.to.size == g.to.size - 2  # one forward/twin pair dropped
+    assert view.to.size % 2 == 0
+    # the e^1 mate invariant survives compaction: the twin of every kept
+    # root edge is kept too, adjacent and order-preserving
+    assert (view.parent_eids.reshape(-1, 2) // 2 == view.parent_eids.reshape(-1, 2)[:, :1] // 2).all()
+    # twins still reverse: head(e) in the view equals the contracted tail
+    # of e's root twin
+    assert (view.to == node_map[g.to[view.parent_eids]]).all()
+    # dropped root edge maps to -1, kept edges to dense ids
+    assert view.eid_map[0] == -1 and view.eid_map[1] == -1
+    kept = view.eid_map[view.eid_map >= 0]
+    assert sorted(kept) == list(range(view.to.size))
+
+
+def test_contract_preserves_max_flow_value():
+    g = _diamond()
+    full = g.clone().max_flow(0, 3)
+    # contract after a partial solve: merge the source side of the final
+    # cut into the source; the remaining flow on the view equals zero
+    # (the view starts from the parent's max-flow residual state)
+    g.max_flow(0, 3)
+    reach = g.reachable_from(0)
+    node_map = np.arange(4, dtype=np.int32)
+    node_map[reach] = 0
+    view = g.contract(node_map)
+    assert view.max_flow(0, 3) == 0.0
+    assert full == pytest.approx(3.0)
+
+
+def test_project_flow_writes_only_kept_edges():
+    g = _diamond()
+    node_map = np.array([0, 0, 2, 3], dtype=np.int32)
+    view = g.contract(node_map)
+    before_interior = g.cap[0]
+    view.cap[:] = 0.5  # arbitrary view-side state
+    mask = view.project_flow()
+    assert mask.sum() == view.to.size
+    assert g.cap[0] == before_interior  # interior pair untouched
+    assert (g.cap[view.parent_eids] == 0.5).all()
+
+
+def test_eid_map_composes_across_nested_views():
+    g = _diamond()
+    first = g.contract(np.array([0, 0, 2, 3], dtype=np.int32))
+    second = first.contract(np.array([0, 0, 2, 2], dtype=np.int32))
+    # two levels of renumbering: root ids translate straight to the leaf
+    for root_eid in range(g.to.size):
+        leaf = second.eid_map[root_eid]
+        mid = first.eid_map[root_eid]
+        if mid < 0:
+            assert leaf == -1
+        elif leaf >= 0:
+            assert second.parent_eids[leaf] == mid
+
+
+# ----------------------------------------------------------------------
+# Sweep-level correctness
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_sweep_levels_match_fill(seed):
+    cluster = generate_cluster(
+        WorkloadSpec(n_jobs=20, n_sites=5, theta=1.1, weight_spread=2.0),
+        np.random.default_rng(seed),
+    )
+    np.testing.assert_allclose(
+        sweep_levels(cluster), amf_levels(cluster, oracle="parametric"), atol=1e-8, rtol=1e-9
+    )
+
+
+def test_sweep_recovers_every_ladder_breakpoint():
+    k = 16
+    sweep = GgtSweep(breakpoint_ladder(k))
+    schedule = sweep.run()
+    # both weight classes of a rung saturate at the same λ (one binding
+    # cut), so transitions = rungs = k/2 while distinct levels = k
+    assert len(schedule.breakpoints) == k // 2
+    assert np.unique(schedule.levels).size == k
+    assert list(schedule.breakpoints) == sorted(schedule.breakpoints)
+    # nested (GGT): each cumulative frozen-job set contains the previous
+    for a, b in zip(schedule.cut_jobs, schedule.cut_jobs[1:]):
+        assert a < b
+    st = sweep.stats
+    assert st.sweeps == 1 and st.breakpoints == k // 2
+    assert st.contractions > 0
+    # divide-and-conquer: flows stay near 2x the transition count
+    assert st.sweep_flows <= 3 * k
+
+
+def test_sweep_with_floors_freezes_at_lambda_zero():
+    cluster = Cluster.from_matrices([4.0, 4.0], [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    floors = np.array([2.0, 0.0, 0.0])
+    schedule = GgtSweep(cluster, floors).run()
+    levels = amf_levels(cluster, floors=floors, oracle="parametric")
+    np.testing.assert_allclose(schedule.levels, levels, atol=1e-8)
+
+
+def test_sweep_empty_cluster():
+    cluster = Cluster.from_matrices([1.0], [[1.0]])
+    empty = Cluster(cluster.sites, ())
+    schedule = GgtSweep(empty).run()
+    assert schedule.breakpoints == () and schedule.levels.size == 0
+
+
+# ----------------------------------------------------------------------
+# GgtFeasibility: verdict bit-identity + reuse accounting
+# ----------------------------------------------------------------------
+@st.composite
+def clusters_and_probes(draw):
+    n_jobs = draw(st.integers(min_value=1, max_value=5))
+    n_sites = draw(st.integers(min_value=1, max_value=4))
+    caps = [draw(st.floats(min_value=0.2, max_value=6.0)) for _ in range(n_sites)]
+    workloads = []
+    for _ in range(n_jobs):
+        row = [draw(st.floats(min_value=0.0, max_value=4.0)) for _ in range(n_sites)]
+        if max(row) == 0.0:
+            row[draw(st.integers(min_value=0, max_value=n_sites - 1))] = 1.0
+        workloads.append(row)
+    weights = [draw(st.floats(min_value=0.25, max_value=4.0)) for _ in range(n_jobs)]
+    cluster = Cluster.from_matrices(caps, workloads, weights=weights)
+    demand = cluster.aggregate_demand
+    n_probes = draw(st.integers(min_value=1, max_value=7))
+    fractions = [
+        draw(st.floats(min_value=0.0, max_value=1.2, allow_nan=False)) for _ in range(n_probes)
+    ]
+    return cluster, [f * demand for f in fractions]
+
+
+@settings(max_examples=60, deadline=None)
+@given(clusters_and_probes())
+def test_ggt_probe_verdicts_bit_identical_to_cold(case):
+    cluster, probes = case
+    oracle = GgtFeasibility(cluster)
+    for targets in probes:
+        cold = build_network(cluster, np.asarray(targets, dtype=float)).solve()
+        warm = oracle.probe(targets)
+        assert warm.feasible is cold.feasible
+
+
+def test_repeat_probe_served_from_cache():
+    cluster = Cluster.from_matrices([2.0, 3.0], [[1.0, 1.0], [1.0, 0.0]])
+    oracle = GgtFeasibility(cluster)
+    hot = cluster.aggregate_demand * 1.1  # infeasible
+    first = oracle.probe(hot, need_cut=True)  # need_cut: must reach the flow
+    assert first.mode.startswith("flow") and not first.feasible
+    avoided = oracle.ggt.flows_avoided
+    flows = oracle.stats.warm_solves + oracle.stats.cold_solves
+    again = oracle.probe(hot, need_cut=True)
+    assert again is first  # byte-identical targets, no flow in between
+    assert oracle.ggt.flows_avoided == avoided + 1
+    assert oracle.stats.warm_solves + oracle.stats.cold_solves == flows
+
+
+def test_schedule_levels_probe_answered_without_flow():
+    cluster = breakpoint_ladder(8)
+    oracle = GgtFeasibility(cluster)
+    levels = amf_levels(cluster, oracle="parametric")
+    flows_before = None
+    out = oracle.probe(levels)  # triggers sweep + one verification flow
+    flows_before = oracle.stats.warm_solves + oracle.stats.cold_solves
+    assert out.feasible
+    out = oracle.probe(levels * 0.999)
+    assert out.feasible and out.mode == "early-accept"
+    assert oracle.stats.warm_solves + oracle.stats.cold_solves == flows_before
+
+
+# ----------------------------------------------------------------------
+# End-to-end: oracle="ggt" bit-identical to oracle="parametric"
+# ----------------------------------------------------------------------
+@st.composite
+def instances(draw):
+    n_jobs = draw(st.integers(min_value=1, max_value=6))
+    n_sites = draw(st.integers(min_value=1, max_value=4))
+    caps = [draw(st.floats(min_value=0.5, max_value=8.0)) for _ in range(n_sites)]
+    workloads = []
+    for _ in range(n_jobs):
+        row = [draw(st.floats(min_value=0.0, max_value=3.0)) for _ in range(n_sites)]
+        if max(row) == 0.0:
+            row[draw(st.integers(min_value=0, max_value=n_sites - 1))] = 1.0
+        workloads.append(row)
+    weights = [draw(st.floats(min_value=0.25, max_value=4.0)) for _ in range(n_jobs)]
+    cluster = Cluster.from_matrices(caps, workloads, weights=weights)
+    floors = None
+    if draw(st.booleans()):
+        # feasible-by-construction floors: a fraction of the AMF levels
+        frac = draw(st.floats(min_value=0.0, max_value=0.9))
+        floors = frac * amf_levels(cluster)
+    return cluster, floors
+
+
+@settings(max_examples=60, deadline=None)
+@given(instances())
+def test_amf_levels_ggt_bit_identical(case):
+    cluster, floors = case
+    ggt = amf_levels(cluster, floors=floors, oracle="ggt")
+    par = amf_levels(cluster, floors=floors, oracle="parametric")
+    assert (ggt == par).all()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_amf_levels_ggt_bit_identical_zipf(seed):
+    rng = np.random.default_rng(seed)
+    cluster = generate_cluster(
+        WorkloadSpec(n_jobs=30, n_sites=6, theta=1.2, weight_spread=3.0), rng
+    )
+    diag = AmfDiagnostics()
+    ggt = amf_levels(cluster, diagnostics=diag, oracle="ggt")
+    par = amf_levels(cluster, oracle="parametric")
+    assert (ggt == par).all()
+    assert diag.ggt_sweeps == 1 and diag.ggt_breakpoints >= 1
+    assert diag.ggt_flows_avoided > 0
+
+
+def test_degenerate_single_breakpoint():
+    # every job identical: the whole profile is one breakpoint
+    cluster = Cluster.from_matrices([6.0], [[1.0]] * 4)
+    ggt = amf_levels(cluster, oracle="ggt")
+    par = amf_levels(cluster, oracle="parametric")
+    assert (ggt == par).all()
+    assert np.unique(par).size == 1
+
+
+def test_fully_disconnected_shards():
+    # one site per job, no sharing: k = n distinct levels, n components
+    caps = [1.0, 2.0, 3.0, 4.0]
+    workloads = np.eye(4).tolist()
+    cluster = Cluster.from_matrices(caps, workloads)
+    ggt = amf_levels(cluster, oracle="ggt")
+    par = amf_levels(cluster, oracle="parametric")
+    assert (ggt == par).all()
+    # sharded end-to-end: one sweep per shard, matrices exactly equal
+    a = solve_amf(cluster, oracle="ggt", shards=True)
+    b = solve_amf(cluster, oracle="parametric", shards=True)
+    assert (a.matrix == b.matrix).all()
+
+
+@pytest.mark.parametrize("k", [4, 16])
+def test_bisect_ggt_matches_parametric_on_ladder(k):
+    cluster = breakpoint_ladder(k)
+    diag = AmfDiagnostics()
+    ggt = amf_levels_bisect(cluster, tol=1e-6, diagnostics=diag, oracle="ggt")
+    par = amf_levels_bisect(cluster, tol=1e-6, oracle="parametric")
+    assert (ggt == par).all()
+    # the sweep must actually shortcut probes, not just agree
+    assert diag.ggt_flows_avoided > 0
+    assert diag.probes_warm + diag.probes_cold < diag.feasibility_solves
+
+
+def test_solve_amf_ggt_aggregates_match():
+    cluster = generate_cluster(
+        WorkloadSpec(n_jobs=25, n_sites=5, theta=1.2), np.random.default_rng(7)
+    )
+    a = solve_amf(cluster, oracle="ggt")
+    b = solve_amf(cluster, oracle="parametric")
+    # levels are bit-identical (tested above); the realized split is any
+    # valid max flow at those levels and may legitimately differ with the
+    # oracle's probe history, so the aggregates carry the contract here
+    np.testing.assert_allclose(a.aggregates, b.aggregates, atol=1e-9, rtol=1e-12)
+
+
+def test_unknown_oracle_rejected():
+    cluster = Cluster.from_matrices([1.0], [[1.0]])
+    with pytest.raises(Exception, match="backend"):
+        amf_levels(cluster, oracle="newton")

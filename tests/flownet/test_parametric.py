@@ -76,6 +76,71 @@ def test_need_cut_probes_return_the_cold_min_cut(case):
         assert warm.flow_value == pytest.approx(cold.flow_value, abs=1e-8)
 
 
+@st.composite
+def falling_sequences(draw):
+    """Sequences that drive the falling-λ rollback arm of ``_install``.
+
+    The opener is over total site capacity — provably infeasible, so the
+    graph is left holding a saturating flow — and the follow-ups descend
+    (including an exact-zero probe), so installed capacities drop *below*
+    carried flow and the oracle must cancel excess locally (``rolled=True``)
+    rather than restart.
+    """
+    n_jobs = draw(st.integers(min_value=1, max_value=5))
+    n_sites = draw(st.integers(min_value=1, max_value=4))
+    caps = [draw(st.floats(min_value=0.2, max_value=6.0)) for _ in range(n_sites)]
+    workloads = []
+    for _ in range(n_jobs):
+        row = [draw(st.floats(min_value=0.0, max_value=4.0)) for _ in range(n_sites)]
+        if max(row) == 0.0:
+            row[draw(st.integers(min_value=0, max_value=n_sites - 1))] = 1.0
+        workloads.append(row)
+    cluster = Cluster.from_matrices(caps, workloads)
+    demand = cluster.aggregate_demand
+    n_probes = draw(st.integers(min_value=1, max_value=5))
+    fractions = sorted(
+        (draw(st.floats(min_value=0.0, max_value=1.1)) for _ in range(n_probes)), reverse=True
+    )
+    opener = demand + float(np.sum(caps))  # demanded > total capacity
+    return cluster, [opener] + [f * demand for f in fractions] + [0.0 * demand]
+
+
+@settings(max_examples=50, deadline=None)
+@given(falling_sequences(), st.booleans())
+def test_falling_probes_roll_back_and_stay_bit_identical(case, fold):
+    """The cancel-and-reuse arm: falling targets cancel just the excess flow,
+    and the verdicts (and minimal cuts) still bit-match cold solves.
+
+    No rollback-count assertion here: degenerate draws legitimately skip the
+    arm (every job folded, or an early feasible probe lets the trailing zero
+    early-accept) — the deterministic test below pins that the arm fires.
+    """
+    cluster, probes = case
+    oracle = ParametricFeasibility(cluster, fold_single_site=fold)
+    for targets in probes:
+        cold = _cold_outcome(cluster, targets)
+        warm = oracle.probe(targets, need_cut=True)
+        assert warm.feasible is cold.feasible
+        assert warm.cut_sites == cold.cut_sites
+        assert warm.cut_jobs == cold.cut_jobs
+        assert warm.flow_value == pytest.approx(cold.flow_value, abs=1e-8)
+    assert oracle.stats.probes == len(probes)
+
+
+def test_falling_probe_fires_the_rollback_arm():
+    """A two-site job never folds; the saturating opener carries flow 2.0 and
+    the undercut probe installs capacity below it, so ``rolled=True`` must
+    cancel the excess locally — and the verdicts still bit-match cold."""
+    cluster = Cluster.from_matrices([1.0, 1.0], [[1.0, 1.0]])
+    oracle = ParametricFeasibility(cluster)
+    for targets in ([10.0], [0.5], [0.0]):
+        cold = _cold_outcome(cluster, targets)
+        warm = oracle.probe(targets, need_cut=True)
+        assert warm.feasible is cold.feasible
+        assert warm.flow_value == pytest.approx(cold.flow_value, abs=1e-9)
+    assert oracle.stats.rollbacks >= 1
+
+
 @settings(max_examples=30, deadline=None)
 @given(clusters_and_probes())
 def test_feasible_flow_value_matches_demand(case):
