@@ -1,0 +1,399 @@
+"""Service-edge load benchmark: asyncio edge vs threaded edge under open load.
+
+Standalone (no pytest) so CI and developers get one machine-readable
+artifact::
+
+    PYTHONPATH=src python benchmarks/bench_load.py --out BENCH_PR9.json
+
+Three stages, each against in-process servers on the loopback:
+
+* ``capacity`` — closed-loop saturation: ``--connections`` keep-alive
+  clients hammer a read-heavy endpoint mix (95% reads served from the
+  aio edge's published view, 5% writes) for ``--duration`` seconds.
+  The headline is the sustained req/s of each edge and their
+  dimensionless ``aio/thread`` ratio — the PR-9 acceptance bar is
+  ratio >= 3 on a quiet machine (``--min-ratio 3``).
+* ``latency`` — open-loop Poisson arrivals at half the *threaded* edge's
+  measured capacity, offered identically to both edges.  Open-loop
+  means latency is measured from the scheduled arrival, so a stalling
+  server pays its queueing delay instead of silently slowing the
+  client.  At half capacity both edges must sustain the offered rate
+  with a zero error rate; reported axes are achieved req/s, p50/p99.
+* ``shedding`` — an aio edge with a deliberately tiny intake bound
+  (``--shed-max-pending``) takes an above-capacity write burst: the
+  benchmark asserts the overload surfaces *only* as 429 +
+  ``Retry-After`` (never a 5xx, never a hung connection) and reports
+  the shed fraction.
+
+``--baseline BENCH_PR9.json`` turns the run into a regression gate on the
+dimensionless capacity ratio (machine-speed independent): exit non-zero
+if ``aio/thread`` fell by more than ``--max-regression`` vs the baseline.
+``--min-ratio`` additionally enforces an absolute floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import math
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.model.job import Job  # noqa: E402
+from repro.model.site import Site  # noqa: E402
+from repro.service.aio import AioServiceServer  # noqa: E402
+from repro.service.daemon import AllocationService  # noqa: E402
+from repro.service.http import ServiceServer  # noqa: E402
+from repro.service.state import ClusterState, JobArrived  # noqa: E402
+
+SEED = 20260808
+
+#: Read-heavy endpoint mix (path, weight, is_write).  Reads dominate, as
+#: they do for any allocator whose clients poll shares between submits.
+READ_MIX = (
+    ("GET", "/v1/allocate?fresh=false", 60),
+    ("GET", "/v1/health", 25),
+    ("GET", "/v1/stats", 10),
+    ("GET", "/v1/jobs", 5),
+)
+WRITE_FRACTION = 0.05
+
+
+# ----------------------------------------------------------------------
+# Edges
+# ----------------------------------------------------------------------
+def _make_service(n_sites: int, n_jobs: int) -> AllocationService:
+    state = ClusterState([Site(f"s{i}", 4.0) for i in range(n_sites)])
+    service = AllocationService(state, max_delay=0.005)
+    rng = random.Random(SEED)
+    service.submit_all(
+        [
+            JobArrived(Job(f"seed{i}", {f"s{rng.randrange(n_sites)}": 1.0 + rng.random()}))
+            for i in range(n_jobs)
+        ]
+    )
+    service.allocation(fresh=True)  # warm cache + published answer
+    return service
+
+
+def _start_edge(kind: str, n_sites: int, n_jobs: int):
+    """Returns ``(port, stop)`` for a freshly booted edge of ``kind``."""
+    service = _make_service(n_sites, n_jobs)
+    if kind == "aio":
+        srv = AioServiceServer(service, port=0, quiet=True).start()
+        return srv.port, srv.shutdown
+    srv = ServiceServer(service, port=0, quiet=True)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+
+    def stop():
+        srv.shutdown()
+        thread.join(timeout=10)
+        service.close()
+
+    return srv.port, stop
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+class _Stats:
+    __slots__ = ("latencies", "statuses", "errors", "lock")
+
+    def __init__(self):
+        self.latencies: list[float] = []
+        self.statuses: dict[int, int] = {}
+        self.errors = 0
+        self.lock = threading.Lock()
+
+    def record(self, status: int, latency: float) -> None:
+        with self.lock:
+            self.statuses[status] = self.statuses.get(status, 0) + 1
+            self.latencies.append(latency)
+
+    def record_error(self) -> None:
+        with self.lock:
+            self.errors += 1
+
+    def summary(self, wall: float) -> dict:
+        lat = sorted(self.latencies)
+        n = len(lat)
+
+        def pct(p: float) -> float | None:
+            return None if n == 0 else lat[min(n - 1, int(p * n))]
+
+        completed = sum(self.statuses.values())
+        bad = sum(v for k, v in self.statuses.items() if k >= 400)
+        return {
+            "requests": completed,
+            "req_per_s": completed / wall if wall > 0 else 0.0,
+            "p50_ms": None if n == 0 else 1e3 * pct(0.50),
+            "p99_ms": None if n == 0 else 1e3 * pct(0.99),
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "error_rate": (bad + self.errors) / max(1, completed + self.errors),
+            "transport_errors": self.errors,
+        }
+
+
+def _pick(rng: random.Random, worker: int, n: int) -> tuple[str, str, bytes | None]:
+    if rng.random() < WRITE_FRACTION:
+        body = json.dumps(
+            {"jobs": [{"name": f"w{worker}-{n}", "workload": {"s0": 1.0}}]}
+        ).encode()
+        return "POST", "/v1/jobs", body
+    roll = rng.uniform(0, sum(w for _, _, w in READ_MIX))
+    for method, path, weight in READ_MIX:
+        roll -= weight
+        if roll <= 0:
+            return method, path, None
+    return READ_MIX[0][0], READ_MIX[0][1], None
+
+
+def _fire(conn: http.client.HTTPConnection, method: str, path: str, body: bytes | None) -> int:
+    headers = {"Content-Type": "application/json"} if body else {}
+    conn.request(method, path, body=body, headers=headers)
+    resp = conn.getresponse()
+    resp.read()
+    return resp.status
+
+
+def _closed_loop(port: int, connections: int, duration: float) -> dict:
+    """Saturation: every connection fires back-to-back until the deadline."""
+    stats = _Stats()
+    stop = time.monotonic() + duration
+
+    def worker(w: int) -> None:
+        rng = random.Random(f"{SEED}-{w}")
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        n = 0
+        while time.monotonic() < stop:
+            method, path, body = _pick(rng, w, n)
+            n += 1
+            t0 = time.monotonic()
+            try:
+                status = _fire(conn, method, path, body)
+            except (OSError, http.client.HTTPException):
+                stats.record_error()
+                conn.close()
+                conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+                continue
+            stats.record(status, time.monotonic() - t0)
+        conn.close()
+
+    threads = [threading.Thread(target=worker, args=(w,)) for w in range(connections)]
+    t0 = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return stats.summary(time.monotonic() - t0)
+
+
+def _open_loop(port: int, rate: float, duration: float, connections: int, *, writes_only: bool = False) -> dict:
+    """Poisson arrivals at ``rate`` req/s; latency from *scheduled* time."""
+    rng = random.Random(SEED)
+    arrivals: list[float] = []
+    t = 0.0
+    while t < duration:
+        t += rng.expovariate(rate)
+        arrivals.append(t)
+    stats = _Stats()
+    cursor = {"i": 0}
+    cursor_lock = threading.Lock()
+    t0 = time.monotonic()
+
+    def worker(w: int) -> None:
+        wrng = random.Random(f"{SEED}-open-{w}")
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        n = 0
+        while True:
+            with cursor_lock:
+                i = cursor["i"]
+                if i >= len(arrivals):
+                    break
+                cursor["i"] = i + 1
+            due = t0 + arrivals[i]
+            delay = due - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            if writes_only:
+                n += 1
+                body = json.dumps(
+                    {"jobs": [{"name": f"b{w}-{n}", "workload": {"s0": 1.0}}]}
+                ).encode()
+                method, path = "POST", "/v1/jobs"
+            else:
+                method, path, body = _pick(wrng, w, n)
+                n += 1
+            try:
+                status = _fire(conn, method, path, body)
+            except (OSError, http.client.HTTPException):
+                stats.record_error()
+                conn.close()
+                conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+                continue
+            stats.record(status, time.monotonic() - due)
+        conn.close()
+
+    threads = [threading.Thread(target=worker, args=(w,)) for w in range(connections)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    out = stats.summary(time.monotonic() - t0)
+    out["offered_req_per_s"] = rate
+    return out
+
+
+# ----------------------------------------------------------------------
+# Stages
+# ----------------------------------------------------------------------
+def stage_capacity(args) -> dict:
+    rows = {}
+    for kind in ("thread", "aio"):
+        best = None
+        for _ in range(args.repeats):
+            port, stop = _start_edge(kind, args.sites, args.jobs)
+            try:
+                run = _closed_loop(port, args.connections, args.duration)
+            finally:
+                stop()
+            if best is None or run["req_per_s"] > best["req_per_s"]:
+                best = run
+        rows[kind] = best
+        print(
+            f"  capacity[{kind}]: {best['req_per_s']:8.0f} req/s  "
+            f"p99 {best['p99_ms']:.2f} ms  err {best['error_rate']:.4f}"
+        )
+    ratio = rows["aio"]["req_per_s"] / max(1e-9, rows["thread"]["req_per_s"])
+    print(f"  capacity ratio aio/thread: {ratio:.2f}x")
+    return {"edges": rows, "aio_over_thread": ratio}
+
+
+def stage_latency(args, thread_capacity: float) -> dict:
+    rate = max(10.0, 0.5 * thread_capacity)
+    rows = {}
+    for kind in ("thread", "aio"):
+        port, stop = _start_edge(kind, args.sites, args.jobs)
+        try:
+            run = _open_loop(port, rate, args.duration, args.connections)
+        finally:
+            stop()
+        rows[kind] = run
+        print(
+            f"  latency[{kind}] @ {rate:.0f} req/s offered: achieved "
+            f"{run['req_per_s']:8.0f} req/s  p99 {run['p99_ms']:.2f} ms  "
+            f"err {run['error_rate']:.4f}"
+        )
+    return {"offered_req_per_s": rate, "edges": rows}
+
+
+def stage_shedding(args) -> dict:
+    service = _make_service(args.sites, args.jobs)
+    srv = AioServiceServer(service, port=0, max_pending=args.shed_max_pending, quiet=True).start()
+    # enough in-flight writers to actually overflow the intake bound —
+    # with too few connections the stage proves nothing
+    connections = max(args.connections, 4 * args.shed_max_pending)
+    try:
+        run = _open_loop(srv.port, args.shed_rate, args.duration, connections, writes_only=True)
+    finally:
+        srv.shutdown()
+    statuses = {int(k) for k in run["statuses"]}
+    bad = statuses - {202, 429}
+    shed = run["statuses"].get("429", 0)
+    run["shed_fraction"] = shed / max(1, run["requests"])
+    run["overload_is_429_only"] = not bad
+    print(
+        f"  shedding @ {args.shed_rate:.0f} writes/s, max_pending={args.shed_max_pending}: "
+        f"{run['shed_fraction']:.2%} shed, statuses {run['statuses']}"
+    )
+    if bad:
+        print(f"  FAIL: overload leaked non-429 errors: {sorted(bad)}")
+    return run
+
+
+# ----------------------------------------------------------------------
+# Gate + entry
+# ----------------------------------------------------------------------
+def _gate(report: dict, args) -> int:
+    failures = []
+    ratio = report["capacity"]["aio_over_thread"]
+    if args.min_ratio is not None and ratio < args.min_ratio:
+        failures.append(f"capacity ratio {ratio:.2f}x below the --min-ratio floor {args.min_ratio}x")
+    if args.baseline:
+        base = json.loads(Path(args.baseline).read_text())
+        base_ratio = base["capacity"]["aio_over_thread"]
+        if ratio < base_ratio / args.max_regression:
+            failures.append(
+                f"capacity ratio regressed: {ratio:.2f}x vs baseline {base_ratio:.2f}x "
+                f"(allowed {args.max_regression}x)"
+            )
+    for kind, row in report["latency"]["edges"].items():
+        if row["error_rate"] > 0.0:
+            failures.append(f"latency[{kind}] error rate {row['error_rate']:.4f} != 0 under capacity")
+    if not report["shedding"]["overload_is_429_only"]:
+        failures.append("overload surfaced non-429 errors")
+    if report["shedding"]["shed_fraction"] == 0.0:
+        failures.append("shedding stage never shed - the 429-only assertion is vacuous")
+    if math.isfinite(args.max_p99_ms):
+        p99 = report["latency"]["edges"]["aio"]["p99_ms"]
+        if p99 is not None and p99 > args.max_p99_ms:
+            failures.append(f"aio p99 {p99:.1f} ms above --max-p99-ms {args.max_p99_ms}")
+    for failure in failures:
+        print(f"GATE FAIL: {failure}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=4.0, help="seconds per stage run")
+    parser.add_argument("--connections", type=int, default=8, help="concurrent keep-alive clients")
+    parser.add_argument("--repeats", type=int, default=2, help="capacity trials per edge (best kept)")
+    parser.add_argument("--sites", type=int, default=4)
+    parser.add_argument("--jobs", type=int, default=24, help="seed jobs resident in the cluster")
+    parser.add_argument("--shed-rate", type=float, default=2000.0, help="offered write rate for shedding")
+    parser.add_argument("--shed-max-pending", type=int, default=4)
+    parser.add_argument("--out", type=Path, default=None, help="write the JSON report here")
+    parser.add_argument("--baseline", type=Path, default=None, help="gate against this report")
+    parser.add_argument("--max-regression", type=float, default=1.5)
+    parser.add_argument("--min-ratio", type=float, default=None, help="absolute aio/thread floor")
+    parser.add_argument("--max-p99-ms", type=float, default=float("inf"))
+    args = parser.parse_args(argv)
+
+    print(f"capacity: closed loop, {args.connections} connections, {args.duration}s x{args.repeats}")
+    capacity = stage_capacity(args)
+    print("latency: open-loop Poisson at half thread-edge capacity")
+    latency = stage_latency(args, capacity["edges"]["thread"]["req_per_s"])
+    print("shedding: above-capacity write burst against a tiny intake bound")
+    shedding = stage_shedding(args)
+
+    report = {
+        "benchmark": "bench_load",
+        "config": {
+            "duration_s": args.duration,
+            "connections": args.connections,
+            "repeats": args.repeats,
+            "sites": args.sites,
+            "jobs": args.jobs,
+            "write_fraction": WRITE_FRACTION,
+            "shed_rate": args.shed_rate,
+            "shed_max_pending": args.shed_max_pending,
+        },
+        "capacity": capacity,
+        "latency": latency,
+        "shedding": shedding,
+    }
+    if args.out:
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return _gate(report, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -289,12 +289,58 @@ def _serve_state(args):
     return ClusterState([Site(f"s{j}", args.capacity) for j in range(args.sites)])
 
 
+def _serve_journal(args, state):
+    """``serve --journal DIR``: recover the pre-crash state, open the WAL.
+
+    A snapshot in the directory wins over ``--load``/``--sites`` (the
+    journal is the durable truth of the previous incarnation); on a fresh
+    directory the built state is checkpointed as the starting point.
+    Returns ``(state, journal)`` — journal ``None`` without the flag.
+    """
+    directory = getattr(args, "journal", None)
+    if not directory:
+        return state, None
+    from repro.service.journal import open_journal
+
+    state2, journal, rec = open_journal(
+        directory,
+        fallback_state=state,
+        fsync_batch=getattr(args, "journal_fsync", 64),
+    )
+    if rec.cluster is not None or rec.events:
+        print(
+            f"journal: recovered state at seq {rec.seq} "
+            f"({len(rec.events)} events replayed on top of snapshot {rec.snapshot_seq}"
+            + (f", {rec.dropped_lines} torn lines dropped)" if rec.dropped_lines else ")")
+        )
+    return state2, journal
+
+
+def _run_edge(args, service) -> int:
+    """Dispatch to the selected HTTP edge (blocking until shutdown)."""
+    if getattr(args, "edge", "thread") == "aio":
+        from repro.service.aio import serve_aio
+
+        serve_aio(
+            service,
+            host=args.host,
+            port=args.port,
+            max_pending=getattr(args, "max_pending", 1024),
+            quiet=args.quiet,
+        )
+    else:
+        from repro.service.http import serve
+
+        serve(service, host=args.host, port=args.port, quiet=args.quiet)
+    return 0
+
+
 def _serve_with_pool(args, state, addresses) -> int:
     """Boot the service distributed: connect a WorkerPool, serve, clean up."""
     from repro.dist import WorkerPool
     from repro.service import AllocationService
-    from repro.service.http import serve
 
+    state, journal = _serve_journal(args, state)
     pool = WorkerPool(addresses, oracle=args.oracle, max_cuts=args.max_cuts).start()
     print(f"solver pool: {len(pool.live_workers)} workers at {addresses}")
     service = AllocationService(
@@ -307,15 +353,14 @@ def _serve_with_pool(args, state, addresses) -> int:
         oracle=args.oracle,
         backend="dist",
         pool=pool,
+        journal=journal,
         observability=not args.no_obs,
     )
-    serve(service, host=args.host, port=args.port, quiet=args.quiet)
-    return 0
+    return _run_edge(args, service)
 
 
 def cmd_serve(args) -> int:
     from repro.service import AllocationService
-    from repro.service.http import serve
 
     state = _serve_state(args)
     if args.distributed:
@@ -332,6 +377,7 @@ def cmd_serve(args) -> int:
                 proc.terminate()
             for proc in processes:
                 proc.join(timeout=5.0)
+    state, journal = _serve_journal(args, state)
     service = AllocationService(
         state,
         max_delay=args.max_delay,
@@ -341,10 +387,10 @@ def cmd_serve(args) -> int:
         sharded=not args.no_shards,
         workers=args.serve_workers or None,
         oracle=args.oracle,
+        journal=journal,
         observability=not args.no_obs,
     )
-    serve(service, host=args.host, port=args.port, quiet=args.quiet)
-    return 0
+    return _run_edge(args, service)
 
 
 def _parse_address(text: str) -> tuple[str, int]:
@@ -494,6 +540,34 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("parametric", "legacy", "ggt"),
         default="parametric",
         help="feasibility backend for service solves (docs/performance.md)",
+    )
+    p_srv.add_argument(
+        "--edge",
+        choices=("thread", "aio"),
+        default="thread",
+        help="HTTP front-end: 'thread' (stdlib ThreadingHTTPServer) or 'aio' "
+        "(asyncio, lock-free reads + 429 admission control; docs/service.md)",
+    )
+    p_srv.add_argument(
+        "--journal",
+        metavar="DIR",
+        default=None,
+        help="write-ahead journal directory: accepted events are journaled before "
+        "acknowledgement and the pre-crash state is recovered at boot (docs/service.md)",
+    )
+    p_srv.add_argument(
+        "--journal-fsync",
+        type=int,
+        default=64,
+        metavar="N",
+        help="group-commit size: fsync after N journaled events (1 = synchronous durability)",
+    )
+    p_srv.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="aio edge only: shed writes with 429 beyond N undispatched work items",
     )
     p_srv.add_argument("--quiet", action="store_true", help="suppress per-request access logs")
     p_srv.add_argument(

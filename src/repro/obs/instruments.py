@@ -53,6 +53,15 @@ __all__ = [
     "DIST_WORKERS_ALIVE",
     "GGT_RECURSION_DEPTH",
     "PARALLEL_FALLBACK",
+    "ADMISSION_ACCEPTED",
+    "ADMISSION_SHED",
+    "ADMISSION_QUEUE_DEPTH",
+    "ADMISSION_RETRY_AFTER_SECONDS",
+    "FLUSH_ERRORS",
+    "JOURNAL_APPENDS",
+    "JOURNAL_BYTES",
+    "JOURNAL_FSYNCS",
+    "JOURNAL_CHECKPOINTS",
     "record_amf",
     "record_ggt_sweep_depth",
     "record_cache",
@@ -65,6 +74,12 @@ __all__ = [
     "record_dist_failover",
     "set_dist_workers_alive",
     "record_parallel_fallback",
+    "record_admission",
+    "record_admission_shed",
+    "record_flush_error",
+    "record_journal_append",
+    "record_journal_fsync",
+    "record_journal_checkpoint",
 ]
 
 # -- solver (repro.core.amf + repro.flownet.parametric) -----------------
@@ -173,6 +188,33 @@ DIST_WORKERS_ALIVE = REGISTRY.gauge("repro_dist_workers_alive", "live workers in
 # depth = O(log breakpoints); the distribution makes violations visible).
 GGT_RECURSION_DEPTH = REGISTRY.histogram(
     "repro_ggt_recursion_depth", "deepest divide-and-conquer level per sweep", start=1.0, factor=2.0, buckets=8
+)
+
+# -- admission control (repro.service.aio) ------------------------------
+ADMISSION_ACCEPTED = REGISTRY.counter(
+    "repro_admission_accepted_total", "write requests admitted past the intake queue"
+)
+ADMISSION_SHED = REGISTRY.counter(
+    "repro_admission_shed_total", "write requests shed with 429 (intake queue full)"
+)
+ADMISSION_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_admission_queue_depth", "work items pending in the bounded intake queue"
+)
+ADMISSION_RETRY_AFTER_SECONDS = REGISTRY.histogram(
+    "repro_admission_retry_after_seconds", "Retry-After hints handed to shed requests"
+)
+
+# -- background flusher (both HTTP edges) -------------------------------
+FLUSH_ERRORS = REGISTRY.counter(
+    "repro_flush_errors_total", "background flush cycles that raised (flusher keeps running)"
+)
+
+# -- write-ahead journal (repro.service.journal) ------------------------
+JOURNAL_APPENDS = REGISTRY.counter("repro_journal_appends_total", "events appended to the journal")
+JOURNAL_BYTES = REGISTRY.counter("repro_journal_bytes_total", "bytes written to journal segments")
+JOURNAL_FSYNCS = REGISTRY.counter("repro_journal_fsyncs_total", "group-commit fsyncs of the live segment")
+JOURNAL_CHECKPOINTS = REGISTRY.counter(
+    "repro_journal_checkpoints_total", "snapshot checkpoints written (segments compacted)"
 )
 
 # -- analysis fan-out ----------------------------------------------------
@@ -286,3 +328,39 @@ def set_dist_workers_alive(n: int) -> None:
 def record_parallel_fallback() -> None:
     if REGISTRY.enabled:
         PARALLEL_FALLBACK.inc()
+
+
+def record_admission(*, depth: int) -> None:
+    if not REGISTRY.enabled:
+        return
+    ADMISSION_ACCEPTED.inc()
+    ADMISSION_QUEUE_DEPTH.set(depth)
+
+
+def record_admission_shed(retry_after: float) -> None:
+    if not REGISTRY.enabled:
+        return
+    ADMISSION_SHED.inc()
+    ADMISSION_RETRY_AFTER_SECONDS.observe(retry_after)
+
+
+def record_flush_error() -> None:
+    if REGISTRY.enabled:
+        FLUSH_ERRORS.inc()
+
+
+def record_journal_append(events: int, nbytes: int) -> None:
+    if not REGISTRY.enabled:
+        return
+    JOURNAL_APPENDS.inc(events)
+    JOURNAL_BYTES.inc(nbytes)
+
+
+def record_journal_fsync() -> None:
+    if REGISTRY.enabled:
+        JOURNAL_FSYNCS.inc()
+
+
+def record_journal_checkpoint() -> None:
+    if REGISTRY.enabled:
+        JOURNAL_CHECKPOINTS.inc()

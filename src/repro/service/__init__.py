@@ -9,12 +9,22 @@ See docs/service.md for the architecture and knobs.
 * :mod:`repro.service.batching` — event coalescing queue.
 * :mod:`repro.service.cache` — fingerprint-keyed allocation cache.
 * :mod:`repro.service.daemon` — :class:`AllocationService`, the composed pipeline.
-* :mod:`repro.service.http` — stdlib HTTP/JSON API (``repro.cli serve``).
+* :mod:`repro.service.journal` — write-ahead journal + crash recovery.
+* :mod:`repro.service.http` — stdlib threaded HTTP/JSON API (``repro.cli serve``).
+* :mod:`repro.service.aio` — asyncio HTTP edge with lock-free reads and
+  admission control (``repro.cli serve --edge aio``).
 """
 
 from repro.service.batching import BatchStats, CoalescingQueue
 from repro.service.cache import AllocationCache, CacheStats
 from repro.service.daemon import AllocationService, ServedAllocation, ServiceClosed
+from repro.service.journal import (
+    RecoveredJournal,
+    WriteAheadJournal,
+    open_journal,
+    recover_journal,
+    recover_state,
+)
 from repro.service.solver import IncrementalAmfSolver, IncrementalStats
 from repro.service.state import (
     CapacityChanged,
@@ -39,8 +49,13 @@ __all__ = [
     "IncrementalStats",
     "JobArrived",
     "JobDeparted",
+    "RecoveredJournal",
     "ServedAllocation",
     "ServiceClosed",
     "StateError",
+    "WriteAheadJournal",
     "events_from_schedule",
+    "open_journal",
+    "recover_journal",
+    "recover_state",
 ]

@@ -35,6 +35,7 @@ from repro.obs.registry import REGISTRY
 from repro.obs.tracing import TRACER, span
 from repro.service.batching import CoalescingQueue, coalesce_batch
 from repro.service.cache import AllocationCache
+from repro.service.journal import WriteAheadJournal
 from repro.service.solver import IncrementalAmfSolver
 from repro.service.state import ClusterEvent, ClusterState, JobArrived
 from repro.sim.scheduler import SolveStats
@@ -94,6 +95,15 @@ class AllocationService:
         A *started* :class:`repro.dist.WorkerPool` (required iff
         ``backend="dist"``).  The service takes ownership: :meth:`close`
         stops its heartbeats and connections.
+    journal:
+        Optional :class:`~repro.service.journal.WriteAheadJournal`.  When
+        given, every accepted delta is journaled *before* it is queued
+        (write-ahead ordering: an acknowledged event is always on disk),
+        the journal is group-commit-synced after each flush, and
+        checkpoints are taken whenever the flushed state makes the queue
+        empty — see :func:`repro.service.journal.open_journal` for the
+        recovery boot path.  The service takes ownership: :meth:`close`
+        checkpoints and closes it.
     clock:
         Injectable monotone clock (virtual time in tests/benchmarks).
     observability:
@@ -118,6 +128,7 @@ class AllocationService:
         oracle: str = "parametric",
         backend: str = "local",
         pool=None,
+        journal: WriteAheadJournal | None = None,
         clock: Callable[[], float] = time.monotonic,
         observability: bool = True,
     ):
@@ -153,8 +164,15 @@ class AllocationService:
         self.rejections: list[str] = []  # bounded log of deltas the state refused
         self.max_rejections = 200
         self.events_accepted = 0
+        # monotonic, unlike len(self.rejections) which saturates at
+        # max_rejections — stats() reports this one (the saturation was a
+        # real bug: long-running daemons under-reported rejections)
+        self.events_rejected = 0
+        self.rejections_dropped = 0
+        self.journal = journal
         self._lock = threading.RLock()
-        self._started = time.time()
+        self._clock = clock
+        self._started = clock()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -166,24 +184,33 @@ class AllocationService:
 
     def submit(self, event: ClusterEvent) -> int:
         """Queue one delta; returns the number of pending events."""
-        with self._lock:
-            self._check_open()
-            self.queue.push(event)
-            self.events_accepted += 1
-            depth = len(self.queue)
-            if REGISTRY.enabled:
-                instruments.QUEUE_DEPTH.set(depth)
-            return depth
+        return self.submit_all((event,))
 
     def submit_all(self, events: Sequence[ClusterEvent]) -> int:
+        """Queue a delta sequence; returns the number of pending events.
+
+        Write-ahead ordering: the whole sequence is journaled before the
+        first push, so an *acknowledged* event is always on disk.  If a
+        push raises mid-sequence (classic WAL semantics: the caller must
+        treat an errored request's outcome as unknown), the accept count
+        and depth gauge still reflect exactly what was enqueued — a
+        partially-pushed sequence used to leave ``events_accepted`` short
+        and the gauge stale.
+        """
         with self._lock:
             self._check_open()
-            for event in events:
-                self.queue.push(event)
-            self.events_accepted += len(events)
-            depth = len(self.queue)
-            if REGISTRY.enabled:
-                instruments.QUEUE_DEPTH.set(depth)
+            if self.journal is not None:
+                self.journal.append(events)
+            accepted = 0
+            try:
+                for event in events:
+                    self.queue.push(event)
+                    accepted += 1
+            finally:
+                self.events_accepted += accepted
+                depth = len(self.queue)
+                if REGISTRY.enabled:
+                    instruments.QUEUE_DEPTH.set(depth)
             return depth
 
     def flush(self, *, force: bool = False) -> int:
@@ -210,8 +237,18 @@ class AllocationService:
             if REGISTRY.enabled:
                 instruments.QUEUE_DEPTH.set(len(self.queue))
             for message in (*fold_rejected, *rejected):
+                self.events_rejected += 1
                 if len(self.rejections) < self.max_rejections:
                     self.rejections.append(message)
+                else:
+                    self.rejections_dropped += 1
+            if self.journal is not None:
+                # The queue is empty and every journaled event <= seq is
+                # folded into the state — the only moment a checkpoint is
+                # sound.  sync() first: group commit must not outlive the
+                # batch that rode on it.
+                self.journal.sync()
+                self.journal.maybe_checkpoint(self.state)
             return applied
 
     def pending(self) -> int:
@@ -300,6 +337,9 @@ class AllocationService:
             if self._closed:
                 return
             self.flush(force=True)
+            if self.journal is not None and not self.journal.closed:
+                self.journal.checkpoint(self.state)
+                self.journal.close()
             self._closed = True
         if self.pool is not None:
             self.pool.stop()
@@ -313,14 +353,16 @@ class AllocationService:
             s = self.solve_stats
             inc = self.incremental.stats
             return {
-                "uptime_seconds": time.time() - self._started,
+                "uptime_seconds": self._clock() - self._started,
                 "state": {
                     "version": self.state.version,
                     "jobs": self.state.n_jobs,
                     "sites": self.state.n_sites,
                     "pending_events": len(self.queue),
                     "events_accepted": self.events_accepted,
-                    "events_rejected": len(self.rejections),
+                    "events_rejected": self.events_rejected,
+                    "rejections_logged": len(self.rejections),
+                    "rejections_dropped": self.rejections_dropped,
                 },
                 "solver": {
                     "solves": s.solves,
@@ -392,4 +434,5 @@ class AllocationService:
                     if self.pool is None
                     else {"backend": "dist", **self.pool.stats_dict()}
                 ),
+                "journal": None if self.journal is None else self.journal.stats_dict(),
             }

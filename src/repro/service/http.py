@@ -36,6 +36,11 @@ header.  Endpoints (all JSON):
     Optional body with ``"jobs"`` to queue first; forces the pending batch
     to apply and returns the (possibly cached) allocation with solver
     provenance.
+``GET /v1/allocate``
+    The read-side allocate: ``?fresh=false`` (default) answers from the
+    batch-delayed state, ``?fresh=true`` forces the flush first — the same
+    split :mod:`repro.service.aio` serves lock-free from published
+    snapshots.
 
 Request parsing is owned by the typed schema layer
 (:mod:`repro.service.schema`); every error path answers the uniform
@@ -78,7 +83,10 @@ from repro.service.schema import (
     JobsQuery,
     JobSpec,
     SchemaError,
+    allocation_payload,
     error_envelope,
+    jobs_listing_payload,
+    parse_fresh,
 )
 from repro.service.state import CapacityChanged, JobArrived, JobDeparted, StateError
 
@@ -115,29 +123,10 @@ def job_from_dict(data: dict[str, Any]) -> Job:
     return JobSpec.from_json(data).to_job()
 
 
-def _allocation_payload(served) -> dict[str, Any]:
-    alloc = served.allocation
-    cluster = alloc.cluster
-    return {
-        "policy": alloc.policy,
-        "cached": served.cached,
-        "solve_ms": 1e3 * served.seconds,
-        "version": served.version,
-        "fingerprint": served.fingerprint,
-        "jobs": {
-            job.name: {
-                "aggregate": float(alloc.aggregates[i]),
-                "shares": {
-                    site.name: float(alloc.matrix[i, j])
-                    for j, site in enumerate(cluster.sites)
-                    if alloc.matrix[i, j] > 0.0
-                },
-            }
-            for i, job in enumerate(cluster.jobs)
-        },
-        "site_usage": {s.name: float(u) for s, u in zip(cluster.sites, alloc.site_usage)},
-        "utilization": alloc.utilization if cluster.n_jobs else 0.0,
-    }
+# The payload renderer moved to the schema layer so both HTTP edges share
+# it (bit-identical bodies whichever edge answers); kept under its old
+# private name for anything that imported it from here.
+_allocation_payload = allocation_payload
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -267,6 +256,12 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(200, self.service.stats())
             elif route == "/spec" and self._versioned:
                 self._send(200, API_SPEC)
+            elif route == "/allocate":
+                # The read-side allocate: fresh=false (default) serves the
+                # batch-delayed state, fresh=true forces the flush — the
+                # same split the asyncio edge serves lock-free.
+                served = self.service.allocation(fresh=parse_fresh(query, default=False))
+                self._send(200, _allocation_payload(served))
             elif route == "/jobs":
                 self._send(200, self._jobs_listing(JobsQuery.from_query(query)))
             else:
@@ -351,28 +346,7 @@ class _Handler(BaseHTTPRequestHandler):
         status-filtered ``jobs`` mapping (see :class:`JobsQuery`)."""
         served = self.service.allocation(fresh=False)
         payload = _allocation_payload(served)
-        active = payload["jobs"]
-        for entry in active.values():
-            entry["status"] = "active"
-        items: list[tuple[str, dict[str, Any]]] = []
-        if q.status in ("active", "all"):
-            items.extend(active.items())
-        if q.status in ("pending", "all"):
-            items.extend(
-                (name, {"status": "pending"})
-                for name in self.service.pending_job_names()
-                if name not in active
-            )
-        page = items[q.offset : q.offset + q.limit]
-        payload["jobs"] = dict(page)
-        payload["pagination"] = {
-            "limit": q.limit,
-            "offset": q.offset,
-            "total": len(items),
-            "returned": len(page),
-            "status": q.status,
-        }
-        return payload
+        return jobs_listing_payload(payload, self.service.pending_job_names(), q)
 
     def _queue_jobs(self, request: AllocateRequest) -> list[str]:
         jobs = [spec.to_job() for spec in request.jobs]
@@ -424,7 +398,23 @@ class ServiceServer(ThreadingHTTPServer):
                 continue
             if wait > 0.0:
                 self._stop.wait(min(wait, idle))
-            self.service.flush()
+            try:
+                self.service.flush()
+            except ServiceClosed:
+                # racing a shutdown: the close() path drained the queue
+                return
+            except Exception as exc:  # noqa: BLE001 - the flusher must survive
+                # One poisoned batch (solver fault, state bug) must not
+                # silently kill the flusher and strand every future batch:
+                # count it, say so, keep flushing.  The failed drain's
+                # events are lost to the state but remain in the journal
+                # and the rejection accounting of the next stats() read.
+                instruments.record_flush_error()
+                if not self.quiet:
+                    import traceback
+
+                    traceback.print_exc()
+                self._stop.wait(idle)
 
     def shutdown(self) -> None:  # pragma: no cover - exercised via context exit
         self._stop.set()

@@ -29,6 +29,9 @@ __all__ = [
     "AllocateRequest",
     "JobsQuery",
     "error_envelope",
+    "allocation_payload",
+    "jobs_listing_payload",
+    "parse_fresh",
     "API_SPEC",
 ]
 
@@ -187,6 +190,89 @@ def error_envelope(code: str, message: str, detail: Any = None) -> dict[str, Any
     return {"error": {"code": code, "message": message, "detail": detail}}
 
 
+_TRUE = frozenset(("1", "true", "yes", "on"))
+_FALSE = frozenset(("0", "false", "no", "off"))
+
+
+def parse_fresh(params: Mapping[str, str], *, default: bool) -> bool:
+    """The ``fresh`` query flag of ``GET /v1/allocate``.
+
+    ``fresh=true`` forces pending deltas to apply before answering (the
+    ``POST /v1/allocate`` semantics); ``fresh=false`` serves the
+    batch-delayed published state — the lock-free fast path of the asyncio
+    edge.
+    """
+    raw = params.get("fresh")
+    if raw is None:
+        return default
+    lowered = raw.lower()
+    if lowered in _TRUE:
+        return True
+    if lowered in _FALSE:
+        return False
+    raise SchemaError(f"'fresh' must be a boolean flag, got {raw!r}")
+
+
+def allocation_payload(served) -> dict[str, Any]:
+    """JSON body of a :class:`~repro.service.daemon.ServedAllocation`.
+
+    Shared by both HTTP edges (:mod:`repro.service.http` and
+    :mod:`repro.service.aio`) so a client sees bit-identical payloads
+    whichever edge answered.
+    """
+    alloc = served.allocation
+    cluster = alloc.cluster
+    return {
+        "policy": alloc.policy,
+        "cached": served.cached,
+        "solve_ms": 1e3 * served.seconds,
+        "version": served.version,
+        "fingerprint": served.fingerprint,
+        "jobs": {
+            job.name: {
+                "aggregate": float(alloc.aggregates[i]),
+                "shares": {
+                    site.name: float(alloc.matrix[i, j])
+                    for j, site in enumerate(cluster.sites)
+                    if alloc.matrix[i, j] > 0.0
+                },
+            }
+            for i, job in enumerate(cluster.jobs)
+        },
+        "site_usage": {s.name: float(u) for s, u in zip(cluster.sites, alloc.site_usage)},
+        "utilization": alloc.utilization if cluster.n_jobs else 0.0,
+    }
+
+
+def jobs_listing_payload(
+    payload: dict[str, Any], pending_names: list[str], q: JobsQuery
+) -> dict[str, Any]:
+    """``GET /v1/jobs``: paginate + status-filter an allocation payload.
+
+    ``payload`` is :func:`allocation_payload` output (mutated in place:
+    its ``jobs`` mapping is replaced by the requested page), so both edges
+    share one pagination implementation.
+    """
+    active = payload["jobs"]
+    for entry in active.values():
+        entry["status"] = "active"
+    items: list[tuple[str, dict[str, Any]]] = []
+    if q.status in ("active", "all"):
+        items.extend(active.items())
+    if q.status in ("pending", "all"):
+        items.extend((name, {"status": "pending"}) for name in pending_names if name not in active)
+    page = items[q.offset : q.offset + q.limit]
+    payload["jobs"] = dict(page)
+    payload["pagination"] = {
+        "limit": q.limit,
+        "offset": q.offset,
+        "total": len(items),
+        "returned": len(page),
+        "status": q.status,
+    }
+    return payload
+
+
 _JOB_FIELDS = {
     "name": "string (required, non-empty, unique)",
     "workload": "object site -> finite number >= 0 (required, >= 1 positive entry)",
@@ -225,6 +311,11 @@ API_SPEC: dict[str, Any] = {
             "not_found": "404 — unknown path or unknown job name",
             "request_timeout": "408 — body read stalled or shorter than Content-Length",
             "payload_too_large": "413 — request body above the size limit",
+            "too_many_requests": (
+                "429 — admission control shed the request (solver intake queue full); "
+                "the Retry-After header and detail.retry_after_seconds say when to retry "
+                "(derived from recent solve p50 and queue depth)"
+            ),
             "internal": "500 — unexpected server fault (class name in message)",
             "unavailable": "503 — service draining for shutdown; retry against a fresh instance",
         },
@@ -297,6 +388,12 @@ API_SPEC: dict[str, Any] = {
             "path": "/v1/allocate",
             "request": "{} | JobSpec | {jobs: [JobSpec, ...]}",
             "response": [*_ALLOCATION_FIELDS, "queued_jobs"],
+        },
+        {
+            "method": "GET",
+            "path": "/v1/allocate",
+            "query": ["fresh"],
+            "response": [*_ALLOCATION_FIELDS],
         },
         {
             "method": "GET",

@@ -1,0 +1,233 @@
+"""Asyncio edge: route parity with the thread edge, admission, shutdown races."""
+
+import json
+import math
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.model.site import Site
+from repro.service.aio import AioServiceServer
+from repro.service.daemon import AllocationService
+from repro.service.http import ServiceServer
+from repro.service.state import ClusterState
+
+
+def make_service(**kwargs):
+    state = ClusterState([Site("a", 2.0), Site("b", 3.0)])
+    kwargs.setdefault("max_delay", 0.005)
+    return AllocationService(state, **kwargs)
+
+
+@pytest.fixture
+def server():
+    srv = AioServiceServer(make_service(), port=0, quiet=True).start()
+    yield srv
+    srv.shutdown()
+
+
+def call(srv, method: str, path: str, body: dict | None = None):
+    """(status, payload, headers) against a live edge."""
+    url = f"http://127.0.0.1:{srv.port}{path}"
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read().decode()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode()), dict(exc.headers)
+
+
+JOBS = {"jobs": [{"name": "x", "workload": {"a": 1.0}}, {"name": "y", "workload": {"b": 1.0}}]}
+
+
+class TestReadEndpoints:
+    def test_health(self, server):
+        status, payload, _ = call(server, "GET", "/v1/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["sites"] == 2 and payload["jobs"] == 0
+
+    def test_stats_reports_edge_and_admission(self, server):
+        status, payload, _ = call(server, "GET", "/v1/stats")
+        assert status == 200
+        assert payload["edge"] == "aio"
+        adm = payload["admission"]
+        assert adm["max_pending"] == 1024 and adm["shed"] == 0
+
+    def test_passive_allocate_serves_published_view(self, server):
+        status, payload, _ = call(server, "GET", "/v1/allocate?fresh=false")
+        assert status == 200
+        assert payload["version"] == 0 and payload["jobs"] == {}
+
+    def test_fresh_flag_rejects_garbage(self, server):
+        status, payload, _ = call(server, "GET", "/v1/allocate?fresh=sometimes")
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_metrics_prometheus(self, server):
+        url = f"http://127.0.0.1:{server.port}/v1/metrics"
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+
+    def test_legacy_alias_carries_deprecation_headers(self, server):
+        status, _, headers = call(server, "GET", "/health")
+        assert status == 200
+        assert headers.get("Deprecation") == "true"
+        assert "/v1/health" in headers.get("Link", "")
+
+    def test_spec_is_versioned_only(self, server):
+        status, payload, _ = call(server, "GET", "/v1/spec")
+        assert status == 200 and "routes" in payload
+        status, _, _ = call(server, "GET", "/spec")
+        assert status == 404
+
+    def test_unknown_route_envelope(self, server):
+        status, payload, _ = call(server, "GET", "/v1/nope")
+        assert status == 404
+        assert set(payload["error"]) >= {"code", "message"}
+
+
+class TestWriteEndpoints:
+    def test_submit_then_list_jobs(self, server):
+        status, payload, _ = call(server, "POST", "/v1/jobs", JOBS)
+        assert status == 202
+        assert payload["pending_events"] >= 0
+        assert payload["queued_jobs"] == ["x", "y"]
+        # the solver publishes the post-write view before resolving the
+        # future, so a follow-up read sees the jobs once flushed
+        deadline = 50
+        while deadline:
+            _, listing, _ = call(server, "GET", "/v1/jobs")
+            if listing["pagination"]["total"] == 2:
+                break
+            deadline -= 1
+            threading.Event().wait(0.02)
+        assert set(listing["jobs"]) == {"x", "y"}
+
+    def test_allocate_round_trip(self, server):
+        status, payload, _ = call(server, "POST", "/v1/allocate", JOBS)
+        assert status == 200
+        assert set(payload["jobs"]) == {"x", "y"}
+        assert payload["queued_jobs"] == ["x", "y"]
+
+    def test_delete_job(self, server):
+        call(server, "POST", "/v1/allocate", JOBS)
+        status, payload, _ = call(server, "DELETE", "/v1/jobs/x")
+        assert status == 202
+        status, payload, _ = call(server, "DELETE", "/v1/jobs/ghost")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_bad_body_is_400(self, server):
+        status, payload, _ = call(server, "POST", "/v1/jobs", {"jobs": [{"name": "x"}]})
+        assert status == 400
+
+    def test_capacity_update(self, server):
+        status, payload, _ = call(server, "POST", "/v1/capacity", {"site": "a", "capacity": 9.0})
+        assert status == 202
+
+
+class TestParityWithThreadEdge:
+    def test_allocation_payloads_match(self):
+        """Both edges compute the same answer for the same history."""
+        aio = AioServiceServer(make_service(), port=0, quiet=True).start()
+        thr_srv = ServiceServer(make_service(), port=0, quiet=True)
+        thread = threading.Thread(target=thr_srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            _, from_aio, _ = call(aio, "POST", "/v1/allocate", JOBS)
+            _, from_thr, _ = call(thr_srv, "POST", "/v1/allocate", JOBS)
+            for volatile in ("solve_ms", "cached", "queued_jobs"):
+                from_aio.pop(volatile, None)
+                from_thr.pop(volatile, None)
+            assert from_aio == from_thr
+            _, health_aio, _ = call(aio, "GET", "/v1/health")
+            _, health_thr, _ = call(thr_srv, "GET", "/v1/health")
+            assert health_aio == health_thr
+        finally:
+            aio.shutdown()
+            thr_srv.shutdown()
+            thread.join(timeout=5)
+
+
+class TestAdmission:
+    def test_full_intake_sheds_with_retry_after(self):
+        srv = AioServiceServer(make_service(), port=0, max_pending=0, quiet=True).start()
+        try:
+            status, payload, headers = call(srv, "POST", "/v1/jobs", JOBS)
+            assert status == 429
+            assert payload["error"]["code"] == "too_many_requests"
+            retry = payload["error"]["detail"]["retry_after_seconds"]
+            assert retry > 0
+            assert int(headers["Retry-After"]) == max(1, math.ceil(retry))
+            # reads are never shed
+            status, _, _ = call(srv, "GET", "/v1/health")
+            assert status == 200
+            # /v1/stats serves the published snapshot (which predates the
+            # shed); the live counters update immediately
+            assert srv.admission_stats()["shed"] == 1
+            assert srv.admission_stats()["admitted"] == 0
+        finally:
+            srv.shutdown()
+
+    def test_retry_after_floor_and_backlog_scaling(self):
+        service = make_service(max_delay=0.05)
+        srv = AioServiceServer(service, max_pending=0, retry_floor=0.1)
+        # no published view yet: p50 falls back to the coalescing delay,
+        # backlog is the single incoming request -> the floor wins
+        assert srv._retry_after() == pytest.approx(0.1)
+        slow = AioServiceServer(make_service(max_delay=0.5), max_pending=0, retry_floor=0.1)
+        assert slow._retry_after() == pytest.approx(0.5)
+
+
+class TestShutdownRace:
+    def test_inflight_writes_get_answer_or_503(self):
+        """Writes racing shutdown() either land fully or bounce as 503 —
+        the accounting invariant rules out partial mutation."""
+        service = make_service()
+        srv = AioServiceServer(service, port=0, quiet=True).start()
+        results = []
+        errors = []
+        start = threading.Barrier(9)
+
+        def fire(i):
+            start.wait()
+            for n in range(10):
+                try:
+                    status, _, _ = call(srv, "POST", "/v1/jobs",
+                                        {"jobs": [{"name": f"w{i}-{n}", "workload": {"a": 1.0}}]})
+                    results.append(status)
+                except (urllib.error.URLError, ConnectionError, OSError) as exc:
+                    errors.append(exc)
+                    return
+
+        workers = [threading.Thread(target=fire, args=(i,)) for i in range(8)]
+        for w in workers:
+            w.start()
+        start.wait()
+        srv.shutdown()
+        for w in workers:
+            w.join(timeout=30)
+        assert not any(w.is_alive() for w in workers)
+        assert set(results) <= {202, 503}
+        # every accepted event is either applied or folded away - nothing
+        # half-applied, nothing lost
+        assert service.closed
+        assert (
+            service.events_accepted
+            == service.state.version + service.events_rejected + service.queue.stats.folded
+        )
+
+    def test_shutdown_is_idempotent_and_closes_service(self, server):
+        service = server.service
+        server.shutdown()
+        server.shutdown()
+        assert service.closed
+        with pytest.raises(urllib.error.URLError):
+            call(server, "GET", "/v1/health")

@@ -146,3 +146,55 @@ class TestValidation:
     def test_rejects_empty_state(self):
         with pytest.raises(ValueError):
             ClusterState([])
+
+
+class TestAccountingRegressions:
+    """Pinning tests for the PR-9 service-edge bugfix sweep."""
+
+    def test_rejection_counter_does_not_saturate(self):
+        # the bounded log caps at max_rejections, but the monotonic
+        # counters must keep counting (long-running daemons used to
+        # under-report rejections once the log filled)
+        service, _ = make_service()
+        service.max_rejections = 2
+        service.submit_all([JobDeparted(f"ghost{i}") for i in range(5)])
+        service.flush(force=True)
+        assert service.events_rejected == 5
+        assert len(service.rejections) == 2
+        assert service.rejections_dropped == 3
+        stats = service.stats()["state"]
+        assert stats["events_rejected"] == 5
+        assert stats["rejections_logged"] == 2
+        assert stats["rejections_dropped"] == 3
+
+    def test_submit_all_partial_failure_accounting(self):
+        # a push raising mid-sequence must still count the events that
+        # made it in (events_accepted used to come up short)
+        service, _ = make_service()
+        real_push = service.queue.push
+        calls = {"n": 0}
+
+        def flaky_push(event):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise RuntimeError("queue blew up")
+            return real_push(event)
+
+        service.queue.push = flaky_push
+        events = [JobArrived(Job(f"j{i}", {"a": 1.0})) for i in range(4)]
+        with pytest.raises(RuntimeError, match="queue blew up"):
+            service.submit_all(events)
+        assert service.events_accepted == 2
+        service.queue.push = real_push
+        # the daemon keeps working after the failed request
+        service.submit(JobArrived(Job("late", {"b": 1.0})))
+        assert service.allocation().allocation.cluster.n_jobs == 3
+
+    def test_uptime_uses_injected_clock(self):
+        # uptime came from time.time() while everything else used the
+        # injected clock: frozen-clock tests saw nonzero, wall-dependent
+        # uptimes
+        service, clock = make_service()
+        assert service.stats()["uptime_seconds"] == 0.0
+        clock.now = 5.0
+        assert service.stats()["uptime_seconds"] == 5.0

@@ -145,3 +145,101 @@ class TestWireFormat:
     def test_job_from_dict_requires_name_and_workload(self):
         with pytest.raises(ValueError):
             job_from_dict({"name": "j"})
+
+
+class TestPassiveAllocate:
+    def test_get_allocate_fresh_false_serves_last_answer(self, server):
+        call(server, "POST", "/allocate", {"jobs": [{"name": "x", "workload": {"a": 1.0}}]})
+        status, payload = call(server, "GET", "/v1/allocate?fresh=false")
+        assert status == 200
+        assert set(payload["jobs"]) == {"x"}
+
+    def test_get_allocate_fresh_true_forces_pending_batch(self, server):
+        call(server, "POST", "/jobs", {"jobs": [{"name": "x", "workload": {"a": 1.0}}]})
+        status, payload = call(server, "GET", "/v1/allocate?fresh=true")
+        assert status == 200
+        assert set(payload["jobs"]) == {"x"}
+
+    def test_get_allocate_rejects_bad_flag(self, server):
+        status, payload = call(server, "GET", "/v1/allocate?fresh=perhaps")
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+
+class TestFlusherResilience:
+    def test_flusher_survives_a_poisoned_flush(self, server):
+        # one raising flush() must not kill the background flusher (it
+        # used to die silently, stranding every future batch)
+        from repro.obs.instruments import FLUSH_ERRORS
+        from repro.obs.registry import REGISTRY
+
+        service = server.service
+        real_flush = service.flush
+        blew = threading.Event()
+
+        def poisoned_flush(**kwargs):
+            if not blew.is_set():
+                blew.set()
+                raise RuntimeError("poisoned batch")
+            return real_flush(**kwargs)
+
+        was_enabled, errors_before = REGISTRY.enabled, FLUSH_ERRORS.value
+        REGISTRY.enabled = True
+        service.flush = poisoned_flush
+        try:
+            status, _ = call(server, "POST", "/jobs", {"jobs": [{"name": "x", "workload": {"a": 1.0}}]})
+            assert status == 202
+            assert blew.wait(timeout=5.0)
+            # the flusher kept running: the queued job still lands
+            deadline = 100
+            while deadline:
+                _, listing = call(server, "GET", "/jobs")
+                if listing["pagination"]["total"] == 1:
+                    break
+                deadline -= 1
+                threading.Event().wait(0.02)
+            assert set(listing["jobs"]) == {"x"}
+            assert FLUSH_ERRORS.value >= errors_before + 1
+        finally:
+            service.flush = real_flush
+            REGISTRY.enabled = was_enabled
+
+
+class TestShutdownRace:
+    def test_inflight_writes_get_answer_or_503(self):
+        state = ClusterState([Site("a", 2.0), Site("b", 3.0)])
+        service = AllocationService(state, max_delay=0.005)
+        srv = ServiceServer(service, port=0, quiet=True)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        results, errors = [], []
+        start = threading.Barrier(9)
+
+        def fire(i):
+            start.wait()
+            for n in range(10):
+                try:
+                    status, _ = call(
+                        srv, "POST", "/jobs", {"jobs": [{"name": f"w{i}-{n}", "workload": {"a": 1.0}}]}
+                    )
+                    results.append(status)
+                except (urllib.error.URLError, ConnectionError, OSError) as exc:
+                    errors.append(exc)
+                    return
+
+        workers = [threading.Thread(target=fire, args=(i,)) for i in range(8)]
+        for w in workers:
+            w.start()
+        start.wait()
+        service.close()  # the serve() teardown order: service first
+        srv.shutdown()
+        for w in workers:
+            w.join(timeout=30)
+        thread.join(timeout=5)
+        assert not any(w.is_alive() for w in workers)
+        # a write either landed fully (202) or bounced whole (503)
+        assert set(results) <= {202, 503}
+        assert (
+            service.events_accepted
+            == service.state.version + service.events_rejected + service.queue.stats.folded
+        )

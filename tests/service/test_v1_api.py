@@ -212,6 +212,7 @@ class TestSpec:
             ("GET", "/v1/metrics"),
             ("GET", "/v1/traces"),
             ("GET", "/v1/jobs"),
+            ("GET", "/v1/allocate"),
             ("GET", "/v1/spec"),
             ("POST", "/v1/jobs"),
             ("POST", "/v1/capacity"),
