@@ -78,6 +78,7 @@ _REASONS = {
     408: "Request Timeout",
     413: "Payload Too Large",
     429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -87,6 +88,11 @@ _ALIASED = frozenset({"/health", "/stats", "/metrics", "/traces", "/jobs", "/all
 
 _JSON = "application/json"
 _STOP = object()  # intake sentinel: solver loop exits after the final drain
+
+#: Header-count bound, matching ``http.client``'s cap so the two edges
+#: expose the same DoS surface (per-line size is bounded separately by the
+#: StreamReader limit).
+_MAX_HEADERS = 100
 
 
 def _render(
@@ -187,9 +193,12 @@ class AioServiceServer:
     retry_floor:
         Smallest ``Retry-After`` hint handed to shed requests (seconds).
     request_timeout:
-        Per-read socket budget: a client stalling this long mid-request is
-        answered 408 (mid-body/headers) or silently dropped (idle
-        keep-alive).
+        Per-read socket budget: a client stalling this long mid-request
+        (headers or body) is answered 408.
+    idle_timeout:
+        How long a keep-alive connection may sit idle between requests
+        before being dropped silently.  ``None`` inherits
+        ``request_timeout``.
     """
 
     def __init__(
@@ -201,6 +210,7 @@ class AioServiceServer:
         max_pending: int = 1024,
         retry_floor: float = 0.1,
         request_timeout: float | None = 30.0,
+        idle_timeout: float | None = None,
         quiet: bool = True,
     ):
         self.service = service
@@ -209,6 +219,7 @@ class AioServiceServer:
         self.max_pending = max_pending
         self.retry_floor = retry_floor
         self.request_timeout = request_timeout
+        self.idle_timeout = request_timeout if idle_timeout is None else idle_timeout
         self.quiet = quiet
         self.view: PublishedView | None = None
         self._intake: queue.Queue = queue.Queue()
@@ -513,6 +524,14 @@ class AioServiceServer:
                 except _PayloadTooLarge as exc:
                     self._respond(writer, 413, error_envelope("payload_too_large", str(exc)), close=True, t0=t0)
                     break
+                except _HeadersTooLarge as exc:
+                    self._respond(writer, 431, error_envelope("headers_too_large", str(exc)), close=True, t0=t0)
+                    break
+                except (_BadRequest, ValueError) as exc:
+                    # a malformed Content-Length, or a header line over the
+                    # StreamReader's line-length limit
+                    self._respond(writer, 400, error_envelope("bad_request", str(exc)), close=True, t0=t0)
+                    break
                 except (asyncio.TimeoutError, asyncio.IncompleteReadError) as exc:
                     self._respond(
                         writer,
@@ -542,21 +561,31 @@ class AioServiceServer:
                 pass
 
     async def _timed(self, coro, *, idle: bool = False):
-        if self.request_timeout is None:
+        timeout = self.idle_timeout if idle else self.request_timeout
+        if timeout is None:
             return await coro
-        return await asyncio.wait_for(coro, timeout=self.request_timeout)
+        return await asyncio.wait_for(coro, timeout=timeout)
 
     async def _read_headers(self, reader: asyncio.StreamReader) -> dict[str, str]:
         headers: dict[str, str] = {}
+        lines = 0
         while True:
             line = await self._timed(reader.readline())
             if line in (b"\r\n", b"\n", b""):
                 return headers
+            lines += 1
+            if lines > _MAX_HEADERS:
+                raise _HeadersTooLarge(f"more than {_MAX_HEADERS} header lines")
             key, _, value = line.decode("latin-1").partition(":")
             headers[key.strip().lower()] = value.strip()
 
     async def _read_body(self, reader: asyncio.StreamReader, headers: dict[str, str]) -> bytes:
-        length = int(headers.get("content-length") or 0)
+        try:
+            length = int(headers.get("content-length") or 0)
+        except ValueError:
+            raise _BadRequest(
+                f"malformed Content-Length {headers.get('content-length')!r}"
+            ) from None
         if length > MAX_BODY_BYTES:
             raise _PayloadTooLarge(f"request body of {length} bytes exceeds {MAX_BODY_BYTES}")
         if length <= 0:
@@ -802,6 +831,14 @@ class _PayloadTooLarge(Exception):
     """Content-Length above :data:`MAX_BODY_BYTES` (mapped to 413)."""
 
 
+class _HeadersTooLarge(Exception):
+    """More than :data:`_MAX_HEADERS` header lines (mapped to 431)."""
+
+
+class _BadRequest(Exception):
+    """A request the parser cannot interpret (mapped to 400)."""
+
+
 def serve_aio(
     service: AllocationService,
     host: str = "127.0.0.1",
@@ -809,6 +846,7 @@ def serve_aio(
     *,
     max_pending: int = 1024,
     request_timeout: float | None = 30.0,
+    idle_timeout: float | None = None,
     quiet: bool = False,
 ) -> None:
     """Blocking entry point used by ``python -m repro.cli serve --edge aio``.
@@ -826,6 +864,7 @@ def serve_aio(
         port,
         max_pending=max_pending,
         request_timeout=request_timeout,
+        idle_timeout=idle_timeout,
         quiet=quiet,
     ) as server:
         print(f"repro-amf asyncio service listening on http://{host}:{server.port}")

@@ -230,8 +230,8 @@ class WriteAheadJournal:
     def _snapshot_path(self, seq: int) -> Path:
         return self.directory / f"{_SNAPSHOT_PREFIX}{seq:0{_SEQ_DIGITS}d}.json"
 
-    def _open_segment(self, base_seq: int):
-        return open(self._segment_path(base_seq), "ab")
+    def _open_segment(self, base_seq: int, *, truncate: bool = False):
+        return open(self._segment_path(base_seq), "wb" if truncate else "ab")
 
     # -- append --------------------------------------------------------
     @property
@@ -308,8 +308,14 @@ class WriteAheadJournal:
         os.replace(tmp, target)
         # Start the fresh segment before dropping history: there is never
         # a moment without a valid (snapshot, segment) pair on disk.
+        # Truncate, don't append: every event <= seq is in the snapshot we
+        # just fsynced, and the path may already hold a torn first line
+        # from a previous incarnation (crash mid-write of a fresh
+        # segment's opening event leaves segment base == recovered seq) —
+        # appending after that tear would make the next recovery drop
+        # everything this incarnation journals.
         self._file.close()
-        self._file = self._open_segment(self.seq)
+        self._file = self._open_segment(self.seq, truncate=True)
         _fsync_dir(self.directory)
         for path in self.directory.iterdir():
             name = path.name

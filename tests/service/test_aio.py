@@ -2,6 +2,7 @@
 
 import json
 import math
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -43,6 +44,18 @@ def call(srv, method: str, path: str, body: dict | None = None):
 
 
 JOBS = {"jobs": [{"name": "x", "workload": {"a": 1.0}}, {"name": "y", "workload": {"b": 1.0}}]}
+
+
+def raw_request(srv, payload: bytes) -> bytes:
+    """Send raw bytes, read until the server closes the connection."""
+    with socket.create_connection(("127.0.0.1", srv.port), timeout=10) as sock:
+        sock.sendall(payload)
+        chunks = []
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                return b"".join(chunks)
+            chunks.append(data)
 
 
 class TestReadEndpoints:
@@ -184,6 +197,39 @@ class TestAdmission:
         assert srv._retry_after() == pytest.approx(0.1)
         slow = AioServiceServer(make_service(max_delay=0.5), max_pending=0, retry_floor=0.1)
         assert slow._retry_after() == pytest.approx(0.5)
+
+
+class TestMalformedRequests:
+    def test_malformed_content_length_is_400(self, server):
+        # int('abc') must surface as a 400 envelope, not a silent drop +
+        # an unhandled task exception in the event loop
+        raw = raw_request(
+            server,
+            b"POST /v1/jobs HTTP/1.1\r\nHost: t\r\nContent-Length: abc\r\n\r\n",
+        )
+        assert raw.startswith(b"HTTP/1.1 400 ")
+        assert b"bad_request" in raw and b"Content-Length" in raw
+        assert b"Connection: close" in raw
+
+    def test_header_flood_is_431(self, server):
+        # the threaded edge inherits http.client's 100-header cap; the
+        # asyncio edge must bound header count the same way
+        flood = b"".join(b"X-Flood-%d: v\r\n" % i for i in range(150))
+        raw = raw_request(server, b"GET /v1/health HTTP/1.1\r\n" + flood + b"\r\n")
+        assert raw.startswith(b"HTTP/1.1 431 ")
+        assert b"headers_too_large" in raw
+
+    def test_idle_keepalive_timeout_drops_connection(self):
+        # idle_timeout governs the between-requests readline; the served
+        # response still arrives, then the connection closes silently
+        srv = AioServiceServer(
+            make_service(), port=0, quiet=True, request_timeout=30.0, idle_timeout=0.1
+        ).start()
+        try:
+            raw = raw_request(srv, b"GET /v1/health HTTP/1.1\r\nHost: t\r\n\r\n")
+            assert raw.startswith(b"HTTP/1.1 200 ")  # EOF followed within ~0.1s
+        finally:
+            srv.shutdown()
 
 
 class TestShutdownRace:

@@ -215,6 +215,34 @@ class TestRecovery:
         with pytest.raises(JournalError):
             open_journal(tmp_path)
 
+    def test_boot_checkpoint_truncates_torn_head_of_reused_segment(self, tmp_path):
+        # crash tears the FIRST line of a fresh post-checkpoint segment:
+        # the segment base equals the recovered seq, so the next boot
+        # reuses the very same path instead of renaming it away — the boot
+        # checkpoint must truncate the tear, or every event the new
+        # incarnation journals sits behind it and the NEXT recovery drops
+        # them all as data-after-a-torn-line
+        state = make_state()
+        j = WriteAheadJournal(tmp_path, fsync_batch=1)
+        ev = [JobArrived(Job("x", {"a": 1.0}))]
+        state.apply_all(ev)
+        j.append(ev)
+        j.checkpoint(state)  # fresh, empty segment-...001
+        j.close()
+        segment = tmp_path / "segment-000000000001.jsonl"
+        with open(segment, "ab") as fh:
+            fh.write(b'{"seq": 2, "k": "arr')  # crash mid-write of line 1
+        booted, journal, rec = open_journal(tmp_path, fallback_sites=SITES)
+        assert rec.dropped_lines == 1 and booted.n_jobs == 1
+        follow_up = [JobArrived(Job("y", {"b": 1.0}))]
+        journal.append(follow_up)
+        booted.apply_all(follow_up)
+        journal.close()
+        final, rec2 = recover_state(tmp_path)
+        assert rec2.dropped_lines == 0
+        assert final.n_jobs == 2
+        assert final.snapshot().fingerprint() == booted.snapshot().fingerprint()
+
     def test_boot_checkpoint_shields_torn_tail_from_new_segments(self, tmp_path):
         # crash leaves a torn line; the next incarnation boots, writes new
         # events, and a second recovery must see only the new history
