@@ -1,0 +1,289 @@
+"""AMRF engine benchmark: cold LPs vs warm bases vs table-cache hits.
+
+Standalone (no pytest) so CI and developers get one machine-readable
+artifact::
+
+    PYTHONPATH=src python benchmarks/bench_pr10.py --out BENCH_PR10.json
+
+Three stages on crossing-dominance (cpu, mem) clusters — instances where
+no resource dominates, so the scalar reduction cannot fire and every
+solve pays the progressive-filling LP engine:
+
+* ``churn`` — a sequence of perturbed clusters (one job's demand cap
+  changes per step, the service's steady state).  Cold solves each from
+  scratch; warm shares one :class:`~repro.multiresource.engine.AmrfBasis`
+  across the sequence, so each LP starts from the previously binding
+  site-resource rows.  Share profiles are asserted equal — the basis is
+  an accelerator, never an approximation.
+* ``table`` — repeat solves of an *unchanged* cluster against a
+  :class:`~repro.multiresource.engine.TableCache` (the Precomputed-DRF
+  serving pattern): after the first miss every solve is a fingerprint
+  lookup.  The headline ``cached_speedup`` (cold / hit) is the PR's
+  acceptance number and must clear ``--min-speedup`` (2x).
+* ``routing`` — the same traffic spelled as an R=1 resource vector vs
+  plain scalars.  Both route to the identical flow fast path
+  (bit-identity is asserted), so the ratio near 1.0 *is* the price of
+  the vector API on single-resource clusters.
+
+``--baseline BENCH_PR10.json`` turns the run into a regression gate on
+two dimensionless ratios (machine-speed independent): warm/cold LP time
+and the R=1 routing overhead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.amf import AmfDiagnostics, solve_amf  # noqa: E402
+from repro.model.cluster import Cluster  # noqa: E402
+from repro.model.job import Job  # noqa: E402
+from repro.model.site import Site  # noqa: E402
+from repro.multiresource.engine import (  # noqa: E402
+    AmrfBasis,
+    TableCache,
+    amrf_allocate,
+    scalar_reduction,
+)
+
+#: (n_jobs, n_sites) per instance size.
+SIZES = ((8, 4), (16, 6))
+
+#: Perturbation steps per churn sequence.
+STEPS = 6
+
+
+def crossing_cluster(n: int, m: int, seed: int, cap_bump: int = -1) -> Cluster:
+    """Crossing-dominance instance: half the jobs cpu-heavy, half mem-heavy.
+
+    ``cap_bump`` perturbs one job's demand cap (the churn axis) without
+    touching the rest, so consecutive clusters share their binding rows.
+    """
+    rng = np.random.default_rng(seed)
+    sites = [
+        Site(f"s{j}", {"cpu": float(rng.uniform(4.0, 12.0)), "mem": float(rng.uniform(8.0, 32.0))})
+        for j in range(m)
+    ]
+    jobs = []
+    for i in range(n):
+        if i % 2 == 0:
+            res = {"cpu": float(rng.uniform(1.0, 2.0)), "mem": float(rng.uniform(4.0, 8.0))}
+        else:
+            res = {"cpu": float(rng.uniform(4.0, 8.0)), "mem": float(rng.uniform(1.0, 2.0))}
+        workload = {f"s{j}": 1.0 for j in range(m) if rng.random() < 0.8}
+        if not workload:
+            workload = {f"s{int(rng.integers(m))}": 1.0}
+        demand = {s: float(rng.uniform(0.5, 3.0)) for s in workload}
+        if i == cap_bump % n:
+            demand = {s: d * 1.25 for s, d in demand.items()}
+        jobs.append(Job(f"j{i}", workload, demand=demand, resources=res))
+    cluster = Cluster(sites, jobs)
+    if scalar_reduction(cluster) is not None:
+        raise AssertionError("instance unexpectedly reducible — engine not exercised")
+    return cluster
+
+
+def _best_of(repeats: int, fn) -> float:
+    return min(_timed(fn) for _ in range(repeats))
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def stage_churn(repeats: int) -> dict:
+    rows = []
+    for n, m in SIZES:
+        family = [crossing_cluster(n, m, seed=n, cap_bump=step) for step in range(STEPS)]
+
+        def run_cold():
+            return [amrf_allocate(c) for c in family]
+
+        def run_warm():
+            basis = AmrfBasis()
+            return [amrf_allocate(c, basis=basis) for c in family]
+
+        cold_allocs = run_cold()
+        warm_allocs = run_warm()
+        for a, b, c in zip(cold_allocs, warm_allocs, family):
+            dom = c.dominant_factor()
+            if not np.allclose(dom * a.matrix.sum(axis=1), dom * b.matrix.sum(axis=1), atol=1e-6):
+                raise AssertionError("warm basis changed the share profile")
+        cold_ms = 1e3 * _best_of(repeats, run_cold)
+        warm_ms = 1e3 * _best_of(repeats, run_warm)
+        d_cold, d_warm = AmfDiagnostics(), AmfDiagnostics()
+        for c in family:
+            amrf_allocate(c, diagnostics=d_cold)
+        basis = AmrfBasis()
+        for c in family:
+            amrf_allocate(c, basis=basis, diagnostics=d_warm)
+        rows.append(
+            {
+                "n_jobs": n,
+                "n_sites": m,
+                "steps": STEPS,
+                "cold_ms": cold_ms,
+                "warm_ms": warm_ms,
+                "speedup": cold_ms / warm_ms,
+                "cold_lps": d_cold.amrf_lps,
+                "warm_lps": d_warm.amrf_lps,
+                "warm_rows_reused": d_warm.amrf_basis_rows_reused,
+            }
+        )
+    cold = sum(r["cold_ms"] for r in rows)
+    warm = sum(r["warm_ms"] for r in rows)
+    return {
+        "rows": rows,
+        "cold_ms": cold,
+        "warm_ms": warm,
+        "speedup": cold / warm,
+        "ratio": warm / cold,  # machine-independent gate metric
+    }
+
+
+def stage_table(repeats: int) -> dict:
+    rows = []
+    for n, m in SIZES:
+        cluster = crossing_cluster(n, m, seed=n)
+        cold_ms = 1e3 * _best_of(repeats, lambda: amrf_allocate(cluster))
+        cache = TableCache()
+        first = amrf_allocate(cluster, table_cache=cache)
+        diag = AmfDiagnostics()
+        hit_ms = 1e3 * _best_of(
+            max(repeats, 3), lambda: amrf_allocate(cluster, table_cache=cache, diagnostics=diag)
+        )
+        if diag.amrf_table_hits == 0 or diag.amrf_lps != 0:
+            raise AssertionError("table cache did not serve the repeat solve")
+        hit = amrf_allocate(cluster, table_cache=cache)
+        if not np.array_equal(first.matrix, hit.matrix):
+            raise AssertionError("table cache must serve the solved table verbatim")
+        rows.append(
+            {
+                "n_jobs": n,
+                "n_sites": m,
+                "cold_ms": cold_ms,
+                "hit_ms": hit_ms,
+                "speedup": cold_ms / hit_ms,
+            }
+        )
+    cold = sum(r["cold_ms"] for r in rows)
+    hit = sum(r["hit_ms"] for r in rows)
+    return {"rows": rows, "cold_ms": cold, "hit_ms": hit, "speedup": cold / hit}
+
+
+def stage_routing(repeats: int) -> dict:
+    """R=1 vector spelling vs scalar spelling of identical traffic."""
+    rng = np.random.default_rng(7)
+    n, m = 24, 8
+    caps = rng.uniform(1.0, 8.0, m)
+    support = rng.random((n, m)) < 0.6
+    for i in range(n):
+        if not support[i].any():
+            support[i, int(rng.integers(m))] = True
+
+    def build(vector: bool) -> Cluster:
+        if vector:
+            sites = [Site(f"s{j}", {"cpu": float(caps[j])}) for j in range(m)]
+        else:
+            sites = [Site(f"s{j}", float(caps[j])) for j in range(m)]
+        return Cluster(
+            sites,
+            [
+                Job(
+                    f"j{i}",
+                    {f"s{j}": 1.0 for j in range(m) if support[i, j]},
+                    resources={"cpu": 1.0} if vector else {},
+                )
+                for i in range(n)
+            ],
+        )
+
+    scalar, vector = build(False), build(True)
+    a, b = solve_amf(scalar), solve_amf(vector)
+    if not np.array_equal(a.matrix, b.matrix):
+        raise AssertionError("R=1 routing is not bit-identical to the scalar solve")
+    scalar_ms = 1e3 * _best_of(repeats, lambda: solve_amf(scalar))
+    vector_ms = 1e3 * _best_of(repeats, lambda: solve_amf(vector))
+    return {
+        "n_jobs": n,
+        "n_sites": m,
+        "scalar_ms": scalar_ms,
+        "vector_ms": vector_ms,
+        "overhead": vector_ms / scalar_ms,  # machine-independent gate metric
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repeats", type=int, default=3, help="timed repeats (min is reported)")
+    ap.add_argument("--out", default="BENCH_PR10.json", help="output JSON path")
+    ap.add_argument("--baseline", help="committed BENCH_PR10.json to gate against")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=1.5,
+        help="fail if warm/cold or routing-overhead ratio exceeds baseline by this factor",
+    )
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="fail unless the table-cache hit beats the cold AMRF solve by this factor",
+    )
+    args = ap.parse_args(argv)
+
+    result = {
+        "repeats": args.repeats,
+        "sizes": list(SIZES),
+        "stages": {
+            "churn": stage_churn(args.repeats),
+            "table": stage_table(args.repeats),
+            "routing": stage_routing(args.repeats),
+        },
+    }
+    result["summary"] = {
+        "warm_speedup": result["stages"]["churn"]["speedup"],
+        "cached_speedup": result["stages"]["table"]["speedup"],
+        "routing_overhead": result["stages"]["routing"]["overhead"],
+    }
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for row in result["stages"]["churn"]["rows"]:
+        print(
+            f"  churn n={row['n_jobs']:>2} m={row['n_sites']}: {row['speedup']:.2f}x "
+            f"({row['cold_lps']} -> {row['warm_lps']} LPs)"
+        )
+    for key, value in result["summary"].items():
+        print(f"  {key}: {value:.2f}x")
+
+    failed = False
+    if result["summary"]["cached_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: cached_speedup {result['summary']['cached_speedup']:.2f}x "
+            f"below the {args.min_speedup:.1f}x acceptance bar"
+        )
+        failed = True
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        for stage, metric in (("churn", "ratio"), ("routing", "overhead")):
+            base = baseline["stages"][stage][metric]
+            fresh = result["stages"][stage][metric]
+            limit = args.max_regression * base
+            verdict = "OK" if fresh <= limit else "FAIL"
+            print(f"  gate {stage}/{metric}: {fresh:.3f} vs baseline {base:.3f} (limit {limit:.3f}) {verdict}")
+            if fresh > limit:
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

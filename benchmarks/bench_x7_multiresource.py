@@ -8,9 +8,10 @@ dominant-share balance, with the gap growing under skew.
 from repro.analysis.experiments import run_x7_multiresource
 
 
-def test_x7_multiresource(run_once):
+def test_x7_multiresource(run_once, benchmark, record_bench):
     out = run_once(run_x7_multiresource, scale=1.0, seeds=(0, 1), thetas=(0.0, 2.0))
     sw = out.data["sweep"]
     for theta in sw.x_values:
         assert sw.metric_at("amrf/jain", theta) >= sw.metric_at("psdrf/jain", theta) - 1e-9
         assert sw.metric_at("amrf/min_share", theta) >= sw.metric_at("psdrf/min_share", theta) - 1e-9
+    record_bench("x7_multiresource", benchmark)

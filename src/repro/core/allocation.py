@@ -20,6 +20,17 @@ def scrub_matrix(cluster: Cluster, matrix: np.ndarray) -> np.ndarray:
     same tolerance, far below anything the experiments can see.
     """
     matrix = np.minimum(matrix, cluster.demand_caps)
+    if cluster.is_multiresource:
+        # Per-site *per-resource* usage: rescale a column by the tightest
+        # resource it overshoots.
+        usage = matrix.T @ cluster.job_resource_matrix  # (m, R)
+        caps = cluster.site_resource_matrix
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(usage > caps, caps / usage, 1.0)
+        shrink = np.nanmin(np.where(np.isfinite(ratio), ratio, 1.0), axis=1)
+        for j in np.flatnonzero(shrink < 1.0):
+            matrix[:, j] *= shrink[j]
+        return matrix
     usage = matrix.sum(axis=0)
     for j in np.flatnonzero(usage > cluster.capacities):
         matrix[:, j] *= cluster.capacities[j] / usage[j]
@@ -61,12 +72,23 @@ class Allocation:
             float(over_cap.max(initial=0.0)) <= ABS_TOL * scale,
             f"allocation exceeds a demand cap by {float(over_cap.max(initial=0.0)):g}",
         )
-        per_site = matrix.sum(axis=0)
-        for j, used in enumerate(per_site):
-            require(
-                fle(used, cluster.capacities[j], scale=scale),
-                f"site {cluster.sites[j].name!r} over-allocated: {used:g} > {cluster.capacities[j]:g}",
-            )
+        if cluster.is_multiresource:
+            usage = matrix.T @ cluster.job_resource_matrix  # (m, R)
+            res_caps = cluster.site_resource_matrix
+            for j in range(cluster.n_sites):
+                for r, res in enumerate(cluster.resource_names):
+                    require(
+                        fle(float(usage[j, r]), float(res_caps[j, r]), scale=scale),
+                        f"site {cluster.sites[j].name!r} over-allocated on {res!r}: "
+                        f"{float(usage[j, r]):g} > {float(res_caps[j, r]):g}",
+                    )
+        else:
+            per_site = matrix.sum(axis=0)
+            for j, used in enumerate(per_site):
+                require(
+                    fle(used, cluster.capacities[j], scale=scale),
+                    f"site {cluster.sites[j].name!r} over-allocated: {used:g} > {cluster.capacities[j]:g}",
+                )
         matrix.flags.writeable = False
         self.cluster = cluster
         self.matrix = matrix

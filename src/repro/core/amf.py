@@ -91,6 +91,13 @@ class AmfDiagnostics:
     ggt_contractions: int = 0  # contracted subgraph views built
     ggt_breakpoints: int = 0  # leximin breakpoints recovered by sweeps
     ggt_flows_avoided: int = 0  # post-sweep probes answered without a flow
+    # AMRF multi-resource engine (all zero on scalar / reduced solves)
+    amrf_rounds: int = 0  # progressive-filling rounds (max-t LPs)
+    amrf_lps: int = 0  # LP solves paid (incl. warm-basis re-solves)
+    amrf_probes: int = 0  # per-job freezing probes actually run
+    amrf_probes_skipped: int = 0  # probes answered by the max-t vertex witness
+    amrf_basis_rows_reused: int = 0  # binding rows seeded from an AmrfBasis
+    amrf_table_hits: int = 0  # solves served whole from the table cache
 
     @property
     def probes_reused(self) -> int:
@@ -556,8 +563,26 @@ def amf_levels(
     -------
     ``(n,)`` aggregates of the (weighted, floor-respecting) max-min fair
     allocation.  Use :func:`solve_amf` for a realized job-site matrix.
+
+    Multi-resource clusters are accepted when they reduce exactly to the
+    scalar problem (R=1 or one globally dominant resource); the returned
+    levels are then in reduced units ``k_i * A_i`` with ``k_i`` the job's
+    dominant-resource demand (``k_i = 1`` for unit-demand jobs, making the
+    reduction a pure resource rename).  Irreducible vector clusters have
+    no scalar level semantics — use :func:`solve_amf`.
     """
     diag = diagnostics if diagnostics is not None else AmfDiagnostics()
+    if cluster.is_multiresource:
+        from repro.multiresource.engine import scalar_reduction
+
+        red = scalar_reduction(cluster)
+        require(
+            red is not None,
+            "amf_levels needs a scalar-reducible cluster; use solve_amf for general resource vectors",
+        )
+        scalar, k = red
+        scaled = None if floors is None else np.asarray(floors, dtype=float) * k
+        return amf_levels(scalar, scaled, diag, basis, oracle)
     with _observed_solve("levels", cluster, diag):
         levels, _ = _fill_levels(cluster, floors, diag, basis, oracle)
     return levels
@@ -730,6 +755,12 @@ def solve_amf(
     flow at exactly ``levels``, so the matrix is read off that flow instead
     of re-solving a fresh network.
     """
+    if cluster.is_multiresource:
+        from repro.multiresource.engine import solve_multiresource
+
+        return solve_multiresource(
+            cluster, floors, diagnostics, basis, oracle, shards=shards, workers=workers
+        )
     if shards:
         require(basis is None, "shards=True takes a ShardBasisPool via solve_amf_sharded, not basis=")
         from repro.core.sharding import solve_amf_sharded

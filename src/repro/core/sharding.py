@@ -225,6 +225,7 @@ def _solve_shard(
     seed_cuts: tuple[frozenset[str], ...],
     max_cuts: int,
     oracle: str,
+    resource_totals: dict[str, float] | None = None,
 ) -> ShardResult:
     """Solve one shard against a *local* basis clone.
 
@@ -232,6 +233,11 @@ def _solve_shard(
     cannot mutate the parent's pool) and in the serial fallback: the solve
     seeds from ``seed_cuts``, and whatever the local basis holds afterwards
     is returned for the caller to fold back into the pooled basis.
+
+    ``resource_totals`` carries the *federation-wide* per-resource
+    capacities for multi-resource shards — dominant-share denominators are
+    global constants, which is exactly what makes MR leximin separable
+    over components.
     """
     basis = CutBasis(max_cuts=max_cuts)
     for sites in seed_cuts:
@@ -242,12 +248,20 @@ def _solve_shard(
     # recorded once by the parent (merged delta), never in a fork child
     # whose registry copy is discarded — serial and parallel runs must
     # leave identical counters behind.
-    levels, adapter = _fill_levels(shard.cluster, floors, diag, basis, oracle)
-    matrix = adapter.realize(levels) if adapter is not None else None
-    if matrix is not None:
-        matrix = _finalize_matrix(shard.cluster, levels, matrix)
+    if shard.cluster.is_multiresource:
+        from repro.multiresource.engine import solve_multiresource
+
+        alloc = solve_multiresource(
+            shard.cluster, floors, diag, basis, oracle, resource_totals=resource_totals
+        )
+        matrix = np.array(alloc.matrix)
     else:
-        matrix = _realize(shard.cluster, levels)
+        levels, adapter = _fill_levels(shard.cluster, floors, diag, basis, oracle)
+        matrix = adapter.realize(levels) if adapter is not None else None
+        if matrix is not None:
+            matrix = _finalize_matrix(shard.cluster, levels, matrix)
+        else:
+            matrix = _realize(shard.cluster, levels)
     seconds = time.perf_counter() - t0
     return ShardResult(
         shard=shard,
@@ -271,6 +285,7 @@ def solve_shards(
     bases: ShardBasisPool | None = None,
     oracle: str = "parametric",
     workers: int | None = None,
+    resource_totals: dict[str, float] | None = None,
 ) -> list[ShardResult]:
     """Solve every job-bearing shard; serial or fanned over the fork pool.
 
@@ -294,7 +309,9 @@ def solve_shards(
         )
 
     def solve_one(idx: int) -> ShardResult:
-        return _solve_shard(solvable[idx], sub_floors[idx], seeds[idx], max_cuts, oracle)
+        return _solve_shard(
+            solvable[idx], sub_floors[idx], seeds[idx], max_cuts, oracle, resource_totals
+        )
 
     results = parallel_map(solve_one, range(len(solvable)), workers=workers)
     if bases is not None:
@@ -330,12 +347,15 @@ def solve_amf_sharded(
         require(floors.shape == (cluster.n_jobs,), "floors must have one entry per job")
     shards = decompose(cluster)
     record_shard_decomposition(len(shards))
+    totals = cluster.resource_totals if cluster.is_multiresource else None
     observing = REGISTRY.enabled or TRACER.enabled
     before = dataclasses.replace(diag) if observing else None
     with span(
         "amf.solve", variant="sharded", jobs=cluster.n_jobs, sites=cluster.n_sites, shards=len(shards)
     ):
-        results = solve_shards(shards, floors=floors, bases=bases, oracle=oracle, workers=workers)
+        results = solve_shards(
+            shards, floors=floors, bases=bases, oracle=oracle, workers=workers, resource_totals=totals
+        )
     for res in results:
         merge_diagnostics(diag, res.diagnostics)
         record_shard_solve(res.shard.n_jobs, res.seconds)

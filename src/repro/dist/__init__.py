@@ -29,6 +29,7 @@ from repro.dist.protocol import (
     FrameTooLarge,
     Message,
     ProtocolError,
+    VersionMismatch,
 )
 from repro.dist.worker import SolverWorker, run_worker, spawn_local_workers
 
@@ -36,6 +37,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "ProtocolError",
+    "VersionMismatch",
     "FrameTooLarge",
     "ConnectionClosed",
     "Message",

@@ -166,6 +166,15 @@ class WorkerClient:
             reply = recv_message(sock)
             if reply.id == msg.id:
                 return reply
+            if isinstance(reply, ErrorReply) and reply.id == 0:
+                # A stream-level refusal (version_mismatch, frame_too_large,
+                # unparseable envelope): the worker answers once with id=0
+                # and hangs up.  Surface it typed instead of spinning until
+                # the RPC timeout — retrying elsewhere would refuse
+                # identically, so the pool must fail closed.
+                raise DistError(
+                    f"worker {self.worker_id} refused the stream: [{reply.code}] {reply.message}"
+                )
             # A stale reply (e.g. the answer to an RPC we gave up on)
             # is skipped, never misattributed.
 
@@ -185,6 +194,7 @@ class WorkerClient:
             oracle=request.oracle,
             seed_cuts=request.seed_cuts,
             floors=request.floors,
+            resource_totals=request.resource_totals,
         )
         with self._solve_lock:
             reply = self._roundtrip(self._solve_sock, msg)
@@ -407,15 +417,23 @@ class WorkerPool:
         set_dist_workers_alive(alive)
 
     # -- solving -------------------------------------------------------
-    def solve_shards(self, shards: list[Shard], *, floors: np.ndarray | None = None) -> list[ShardResult]:
+    def solve_shards(
+        self,
+        shards: list[Shard],
+        *,
+        floors: np.ndarray | None = None,
+        resource_totals: dict[str, float] | None = None,
+    ) -> list[ShardResult]:
         """Drop-in for :func:`repro.core.sharding.solve_shards` over RPC.
 
         Shards are grouped by owner and each group runs on its own thread
         (a worker serializes its own solves).  An RPC fault fails the
         worker over and replays its unfinished shards on the survivors;
         the call only raises :class:`DistError` when no worker is left or
-        a live worker *refuses* a solve (solver fault — retrying elsewhere
-        would refuse identically).
+        a live worker *refuses* a solve (solver fault or protocol-version
+        disagreement — retrying elsewhere would refuse identically).
+        ``resource_totals`` carries the federation-wide dominant-share
+        denominators for multi-resource shards (``None`` for scalar).
         """
         solvable = [sh for sh in shards if sh.n_jobs > 0]
         if not solvable:
@@ -439,7 +457,7 @@ class WorkerPool:
             threads = [
                 threading.Thread(
                     target=self._solve_group,
-                    args=(worker_id, idxs, solvable, floors, results, faults),
+                    args=(worker_id, idxs, solvable, floors, resource_totals, results, faults),
                     name=f"dist-solve-{worker_id}",
                     daemon=True,
                 )
@@ -465,6 +483,7 @@ class WorkerPool:
         idxs: list[int],
         solvable: list[Shard],
         floors: np.ndarray | None,
+        resource_totals: dict[str, float] | None,
         results: dict[int, ShardResult],
         faults: list[str],
     ) -> None:
@@ -484,6 +503,11 @@ class WorkerPool:
                 oracle=self.oracle,
                 seed_cuts=tuple(tuple(sorted(cut)) for cut in seeds),
                 floors=sub_floors,
+                resource_totals=(
+                    None
+                    if resource_totals is None
+                    else tuple(sorted(resource_totals.items()))
+                ),
             )
             t0 = time.perf_counter()
             try:

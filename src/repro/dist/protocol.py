@@ -49,6 +49,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "ProtocolError",
+    "VersionMismatch",
     "FrameTooLarge",
     "ConnectionClosed",
     "Message",
@@ -68,8 +69,12 @@ __all__ = [
     "recv_message",
 ]
 
-#: Version stamped into (and required of) every envelope.
-PROTOCOL_VERSION = 1
+#: Version stamped into (and required of) every envelope.  Bumped to 2
+#: when :class:`SolveShard` grew ``resource_totals`` (the federation-wide
+#: dominant-share denominators a multi-resource shard solve depends on) —
+#: a v1 peer would silently solve vector shards against the wrong
+#: denominators, so version disagreement must fail closed, never degrade.
+PROTOCOL_VERSION = 2
 
 #: Frame ceiling — the HTTP edge's 413 limit, reused byte-for-byte.
 MAX_FRAME_BYTES = MAX_BODY_BYTES
@@ -79,6 +84,16 @@ _HEADER = struct.Struct(">I")
 
 class ProtocolError(ValueError):
     """A byte stream or envelope that violates the wire protocol."""
+
+
+class VersionMismatch(ProtocolError):
+    """The peer speaks a different :data:`PROTOCOL_VERSION`.
+
+    Fail-closed by design: the coordinator treats this as a dead backend
+    (typed :class:`repro.dist.DistError` → local fallback) rather than
+    attempting cross-version best effort — a v1 worker would solve a
+    multi-resource shard against the wrong global denominators.
+    """
 
 
 class FrameTooLarge(ProtocolError):
@@ -179,7 +194,9 @@ class SolveShard(Message):
     output; ``seed_cuts`` are site-name sets the worker folds into its
     local basis before solving (the coordinator sends its mirrored cuts
     here after a failover, re-warming the new owner); ``floors`` is an
-    optional per-job lower-bound vector.
+    optional per-job lower-bound vector; ``resource_totals`` carries the
+    *federation-wide* per-resource capacity totals a multi-resource shard
+    must use as dominant-share denominators (``None`` for scalar shards).
     """
 
     TYPE: ClassVar[str] = "solve_shard"
@@ -188,6 +205,7 @@ class SolveShard(Message):
     oracle: str = "parametric"
     seed_cuts: tuple[tuple[str, ...], ...] = ()
     floors: tuple[float, ...] | None = None
+    resource_totals: tuple[tuple[str, float], ...] | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "key", tuple(str(s) for s in self.key))
@@ -196,6 +214,12 @@ class SolveShard(Message):
         )
         if self.floors is not None:
             object.__setattr__(self, "floors", tuple(float(x) for x in self.floors))
+        if self.resource_totals is not None:
+            object.__setattr__(
+                self,
+                "resource_totals",
+                tuple(sorted((str(res), float(amount)) for res, amount in self.resource_totals)),
+            )
 
 
 @_register
@@ -280,11 +304,16 @@ def decode_message(payload: bytes) -> Message:
         raise ProtocolError(f"frame is not valid JSON: {exc}") from None
     if not isinstance(obj, dict):
         raise ProtocolError(f"envelope must be a JSON object, got {type(obj).__name__}")
-    missing = {"v", "type", "id", "body"} - set(obj)
+    # Version is judged before the field inventory: a foreign version may
+    # legitimately use a different envelope shape, and the answer must be
+    # "speak v2", not "malformed frame".
+    if obj.get("v") != PROTOCOL_VERSION:
+        raise VersionMismatch(
+            f"unsupported protocol version {obj.get('v')!r} (speak {PROTOCOL_VERSION})"
+        )
+    missing = {"type", "id", "body"} - set(obj)
     if missing:
         raise ProtocolError(f"envelope missing fields {sorted(missing)}")
-    if obj["v"] != PROTOCOL_VERSION:
-        raise ProtocolError(f"unsupported protocol version {obj['v']!r} (speak {PROTOCOL_VERSION})")
     cls = MESSAGE_TYPES.get(obj["type"])
     if cls is None:
         raise ProtocolError(f"unknown message type {obj['type']!r}")

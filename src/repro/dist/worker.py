@@ -50,6 +50,7 @@ from repro.dist.protocol import (
     Shutdown,
     ShutdownAck,
     SolveShard,
+    VersionMismatch,
     recv_message,
     send_message,
 )
@@ -168,6 +169,11 @@ class SolverWorker:
                     # unusable, so answer once and hang up.
                     self._reply_error(conn, 0, "frame_too_large", str(exc))
                     return
+                except VersionMismatch as exc:
+                    # Fail closed: name the disagreement so the coordinator
+                    # counts this backend dead instead of retrying blind.
+                    self._reply_error(conn, 0, "version_mismatch", str(exc))
+                    return
                 except ProtocolError as exc:
                     self._reply_error(conn, 0, "bad_request", str(exc))
                     return
@@ -239,12 +245,14 @@ class SolverWorker:
             seeds = basis.sets()
             max_cuts = self.bases.max_cuts
         floors = None if msg.floors is None else list(msg.floors)
+        totals = None if msg.resource_totals is None else dict(msg.resource_totals)
         result = _solve_shard(
             shard,
             None if floors is None else np.asarray(floors, dtype=float),
             seeds,
             max_cuts,
             msg.oracle or self.oracle,
+            resource_totals=totals,
         )
         with self._lock:
             pooled = self.bases.basis_for(key)

@@ -10,12 +10,13 @@ from __future__ import annotations
 
 import hashlib
 from functools import cached_property
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro._util import as_float_array, as_float_matrix, nonneg, require
 from repro.model.job import Job
+from repro.model.resources import SLOTS, UnknownResourceError
 from repro.model.site import Site
 
 
@@ -37,9 +38,18 @@ class Cluster:
         job_names = [j.name for j in jobs]
         require(len(set(job_names)) == len(job_names), "job names must be unique")
         known = set(site_names)
+        offered: set[str] = set()
+        for site in sites:
+            offered.update(site.resource_vector)
         for job in jobs:
             unknown = set(job.workload) - known
             require(not unknown, f"job {job.name!r} references unknown sites {sorted(unknown)}")
+            missing = set(job.resource_vector) - offered
+            if missing:
+                raise UnknownResourceError(
+                    f"job {job.name!r} demands unknown resources {sorted(missing)} "
+                    f"(cluster offers {sorted(offered)})"
+                )
         self._sites = sites
         self._jobs = jobs
         self._site_index = {name: k for k, name in enumerate(site_names)}
@@ -117,17 +127,91 @@ class Cluster:
     def demand_caps(self) -> np.ndarray:
         """``(n, m)`` *effective* per-edge demand caps.
 
-        ``inf``/missing caps are clipped to the site capacity (a job can never
-        usefully hold more than the whole site), and entries outside the
+        ``inf``/missing caps are clipped to the rate the site could sustain
+        if the job ran alone there (a job can never usefully hold more than
+        the whole site; for a resource vector that is ``min_r c_jr / r_ir``
+        over the resources the job consumes), and entries outside the
         support are 0.  Solvers therefore only ever need this matrix.
         """
         caps = np.zeros((self.n_jobs, self.n_sites), dtype=float)
+        mr = self.is_multiresource
         for i, job in enumerate(self._jobs):
+            vec = job.resource_vector if mr else None
             for site in job.workload:
                 j = self._site_index[site]
-                caps[i, j] = min(job.demand_at(site), self._sites[j].capacity)
+                if mr:
+                    site_vec = self._sites[j].resource_vector
+                    alone = min(site_vec.get(res, 0.0) / amount for res, amount in vec.items())
+                else:
+                    alone = self._sites[j].capacity
+                caps[i, j] = min(job.demand_at(site), alone)
         caps.flags.writeable = False
         return caps
+
+    # ------------------------------------------------------------------
+    # Resource-vector views
+    # ------------------------------------------------------------------
+    @cached_property
+    def is_multiresource(self) -> bool:
+        """True when any site or job declares a non-canonical resource vector."""
+        return any(s.is_multiresource for s in self._sites) or any(j.is_multiresource for j in self._jobs)
+
+    @cached_property
+    def resource_names(self) -> tuple[str, ...]:
+        """Sorted names of every resource offered by some site."""
+        names: set[str] = set()
+        for site in self._sites:
+            names.update(site.resource_vector)
+        return tuple(sorted(names))
+
+    @cached_property
+    def site_resource_matrix(self) -> np.ndarray:
+        """``(m, R)`` site capacities per resource (0 where not offered)."""
+        names = self.resource_names
+        mat = np.zeros((self.n_sites, len(names)), dtype=float)
+        for j, site in enumerate(self._sites):
+            vec = site.resource_vector
+            for r, res in enumerate(names):
+                mat[j, r] = vec.get(res, 0.0)
+        mat.flags.writeable = False
+        return mat
+
+    @cached_property
+    def job_resource_matrix(self) -> np.ndarray:
+        """``(n, R)`` per-task resource demands (0 where not consumed)."""
+        names = self.resource_names
+        mat = np.zeros((self.n_jobs, len(names)), dtype=float)
+        for i, job in enumerate(self._jobs):
+            vec = job.resource_vector
+            for r, res in enumerate(names):
+                mat[i, r] = vec.get(res, 0.0)
+        mat.flags.writeable = False
+        return mat
+
+    @cached_property
+    def resource_totals(self) -> dict[str, float]:
+        """Federation-wide capacity of each resource (dominant-share denominators)."""
+        totals = self.site_resource_matrix.sum(axis=0)
+        return {res: float(totals[r]) for r, res in enumerate(self.resource_names)}
+
+    def dominant_factor(self, resource_totals: Mapping[str, float] | None = None) -> np.ndarray:
+        """``(n,)`` per-unit-rate dominant-share factor of each job.
+
+        ``factor[i] = max_r r_ir / C_r`` with federation-wide totals ``C_r``:
+        a job running at aggregate rate ``A_i`` holds dominant share
+        ``A_i * factor[i]``.  Pass ``resource_totals`` to pin the global
+        denominators when solving a sub-cluster (a shard) of a federation.
+        """
+        names = self.resource_names
+        if resource_totals is None:
+            totals = {res: self.resource_totals[res] for res in names}
+        else:
+            totals = {res: float(resource_totals.get(res, self.resource_totals[res])) for res in names}
+        denom = np.array([max(totals[res], 1e-300) for res in names], dtype=float)
+        if not names:
+            return np.ones(self.n_jobs, dtype=float)
+        factor = (self.job_resource_matrix / denom).max(axis=1)
+        return factor
 
     @cached_property
     def aggregate_demand(self) -> np.ndarray:
@@ -148,12 +232,19 @@ class Cluster:
         h = hashlib.sha256()
         for site in self._sites:
             h.update(f"S|{site.name}|{site.capacity.hex()}\n".encode())
+            # Vector capacities get extra lines; canonical scalar sites emit
+            # none, keeping pre-vector fingerprints byte-for-byte stable.
+            if site.resources is not None:
+                for res, amount in site.resources:
+                    h.update(f"R|{site.name}|{res}|{amount.hex()}\n".encode())
         for job in self._jobs:
             h.update(f"J|{job.name}|{job.weight.hex()}\n".encode())
             for site, work in sorted(job.workload.items()):
                 h.update(f"w|{site}|{work.hex()}\n".encode())
             for site, rate in sorted(job.demand.items()):
                 h.update(f"d|{site}|{rate.hex()}\n".encode())
+            for res, amount in sorted(job.resources.items()):
+                h.update(f"r|{res}|{amount.hex()}\n".encode())
         return h.hexdigest()
 
     def fingerprint(self) -> str:

@@ -8,6 +8,7 @@ from types import MappingProxyType
 from typing import Mapping
 
 from repro._util import require
+from repro.model.resources import SLOTS, normalize_resources
 
 
 def _frozen_mapping(values: Mapping[str, float], name: str, *, allow_zero: bool) -> Mapping[str, float]:
@@ -49,6 +50,13 @@ class Job:
         Defaults to 1 (the unweighted fairness of the paper).
     arrival:
         Arrival time for dynamic simulation; ignored by static solvers.
+    resources:
+        Optional per-task resource demand vector ``{resource: amount}``
+        (uniform across sites, DRF-style): running the job at rate ``a``
+        at a site consumes ``a * amount`` of each resource there.  An
+        empty mapping — or the canonical ``{"slots": 1.0}`` — is the
+        historical scalar world where one unit of rate consumes one slot.
+        All amounts must be strictly positive and finite.
     """
 
     name: str
@@ -56,6 +64,7 @@ class Job:
     demand: Mapping[str, float] = field(default_factory=dict)
     weight: float = 1.0
     arrival: float = 0.0
+    resources: Mapping[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         require(bool(self.name), "job name must be non-empty")
@@ -74,6 +83,22 @@ class Job:
         for site in demand:
             require(site in workload, f"job {self.name!r}: demand cap at {site!r} without workload there")
         object.__setattr__(self, "demand", demand)
+        vec = normalize_resources(self.resources, f"job {self.name!r} resources")
+        if len(vec) == 1 and SLOTS in vec and vec[SLOTS] == 1.0:
+            vec = {}  # canonical scalar job
+        object.__setattr__(self, "resources", MappingProxyType(vec))
+
+    @property
+    def is_multiresource(self) -> bool:
+        """True when this job declares a non-canonical per-task resource vector."""
+        return len(self.resources) > 0
+
+    @property
+    def resource_vector(self) -> dict[str, float]:
+        """Per-task demand as a resource vector (scalar → ``{"slots": 1.0}``)."""
+        if not self.resources:
+            return {SLOTS: 1.0}
+        return dict(self.resources)
 
     @property
     def support(self) -> frozenset[str]:
@@ -102,6 +127,7 @@ class Job:
             demand=dict(self.demand if demand is None else demand),
             weight=self.weight,
             arrival=self.arrival,
+            resources=dict(self.resources),
         )
 
     def scaled(self, factor: float) -> "Job":
@@ -113,4 +139,5 @@ class Job:
             demand=dict(self.demand),
             weight=self.weight,
             arrival=self.arrival,
+            resources=dict(self.resources),
         )

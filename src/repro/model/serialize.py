@@ -48,7 +48,13 @@ def cluster_to_dict(cluster: Cluster) -> dict[str, Any]:
     return {
         "format": CLUSTER_FORMAT,
         "sites": [
-            {"name": s.name, "capacity": s.capacity, **({"tags": list(s.tags)} if s.tags else {})}
+            {
+                "name": s.name,
+                # Vector capacities serialize as a map; canonical scalar
+                # sites keep the historical number (byte-stable wire form).
+                "capacity": dict(s.resources) if s.resources is not None else s.capacity,
+                **({"tags": list(s.tags)} if s.tags else {}),
+            }
             for s in cluster.sites
         ],
         "jobs": [
@@ -58,6 +64,7 @@ def cluster_to_dict(cluster: Cluster) -> dict[str, Any]:
                 **({"demand": dict(j.demand)} if j.demand else {}),
                 **({"weight": j.weight} if j.weight != 1.0 else {}),
                 **({"arrival": j.arrival} if j.arrival != 0.0 else {}),
+                **({"resources": dict(j.resources)} if j.resources else {}),
             }
             for j in cluster.jobs
         ],
@@ -67,7 +74,16 @@ def cluster_to_dict(cluster: Cluster) -> dict[str, Any]:
 def cluster_from_dict(data: dict[str, Any]) -> Cluster:
     """Rebuild a cluster from :func:`cluster_to_dict` output."""
     require(data.get("format") == CLUSTER_FORMAT, f"unsupported cluster format {data.get('format')!r}")
-    sites = [Site(s["name"], float(s["capacity"]), tuple(s.get("tags", ()))) for s in data["sites"]]
+    sites = [
+        Site(
+            s["name"],
+            {k: float(v) for k, v in s["capacity"].items()}
+            if isinstance(s["capacity"], dict)
+            else float(s["capacity"]),
+            tuple(s.get("tags", ())),
+        )
+        for s in data["sites"]
+    ]
     jobs = [
         Job(
             j["name"],
@@ -75,6 +91,7 @@ def cluster_from_dict(data: dict[str, Any]) -> Cluster:
             {k: float(v) for k, v in j.get("demand", {}).items()},
             weight=float(j.get("weight", 1.0)),
             arrival=float(j.get("arrival", 0.0)),
+            resources={k: float(v) for k, v in j.get("resources", {}).items()},
         )
         for j in data["jobs"]
     ]

@@ -13,7 +13,14 @@ the natural future-work extension the paper points toward:
   each job's *aggregate dominant share* across all sites — the
   multi-resource analogue of the paper's AMF (feasibility is an LP rather
   than a max-flow, so the solver uses bisection progressive filling with
-  per-job freezing probes, mirroring :mod:`repro.core.reference`).
+  per-job freezing probes, mirroring :mod:`repro.core.reference`),
+* :mod:`repro.multiresource.engine` — the **production** AMRF engine
+  behind :func:`repro.core.amf.solve_amf` on vector clusters: one max-t LP
+  per progressive-filling round (no bisection), warm vertex bases
+  (:class:`~repro.multiresource.engine.AmrfBasis`), a solved-allocation
+  table cache, connected-component sharding, and an exact scalar reduction
+  that routes R=1 (and dominant-resource-degenerate) clusters to the flow
+  fast path bit-identically.
 
 Experiment X7 compares the two on dominant-share balance under skew; the
 single-resource specialization collapses to AMF/PSMF and is cross-checked
@@ -23,5 +30,26 @@ against the flow solvers in the tests.
 from repro.multiresource.model import MRCluster, MRJob, MRSite
 from repro.multiresource.persite import solve_persite_drf
 from repro.multiresource.aggregate import solve_amrf, amrf_shares
+from repro.multiresource.engine import (
+    AmrfBasis,
+    TableCache,
+    amrf_allocate,
+    global_table_cache,
+    scalar_reduction,
+    solve_multiresource,
+)
 
-__all__ = ["MRSite", "MRJob", "MRCluster", "solve_persite_drf", "solve_amrf", "amrf_shares"]
+__all__ = [
+    "MRSite",
+    "MRJob",
+    "MRCluster",
+    "solve_persite_drf",
+    "solve_amrf",
+    "amrf_shares",
+    "AmrfBasis",
+    "TableCache",
+    "amrf_allocate",
+    "global_table_cache",
+    "scalar_reduction",
+    "solve_multiresource",
+]

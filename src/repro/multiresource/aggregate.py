@@ -108,6 +108,13 @@ def amrf_shares(cluster: MRCluster, tol: float = 1e-9) -> np.ndarray:
         newly = []
         for i in np.flatnonzero(~frozen):
             res = lp.max_share_of(i, req)
+            if not res.success:
+                # At the bottleneck the floors pin a degenerate corner whose
+                # feasible sliver can fall below HiGHS' tolerance, making a
+                # feasible probe report infeasible (and the job freeze too
+                # early, below its true max-min share).  Relaxing the floors
+                # a hair re-opens the sliver without moving the verdict.
+                res = lp.max_share_of(i, req * (1.0 - 1e-7))
             best = -res.fun if res.success else req[i]
             if best <= req[i] + probe_tol * max(1.0, req[i]):
                 newly.append(i)

@@ -17,6 +17,7 @@ Dominant shares:
 
 from __future__ import annotations
 
+import math
 from functools import cached_property
 from typing import Mapping, Sequence
 
@@ -32,7 +33,12 @@ class MRSite:
         require(bool(name), "site name must be non-empty")
         require(bool(capacities), "site needs at least one resource")
         for res, cap in capacities.items():
-            require(cap > 0.0, f"site {name!r}: capacity of {res!r} must be positive")
+            # isfinite first: `cap > 0.0` alone admits inf and mislabels NaN
+            # as "not positive" (see the Job/Site non-finite rejection).
+            require(
+                math.isfinite(cap) and cap > 0.0,
+                f"site {name!r}: capacity of {res!r} must be positive and finite, got {cap}",
+            )
         self.name = name
         self.capacities = dict(capacities)
 
@@ -48,11 +54,24 @@ class MRJob:
         weight: float = 1.0,
     ):
         require(bool(name), "job name must be non-empty")
-        require(any(v > 0 for v in task_demand.values()), f"job {name!r}: task demand must be non-zero")
+        # Per-entry finiteness first: NaN fails `v > 0` too, but then the
+        # aggregate check would mislabel it "task demand must be non-zero".
         for res, d in task_demand.items():
-            require(d >= 0.0, f"job {name!r}: demand of {res!r} must be non-negative")
+            require(
+                math.isfinite(d) and d >= 0.0,
+                f"job {name!r}: demand of {res!r} must be non-negative and finite, got {d}",
+            )
+        require(any(v > 0 for v in task_demand.values()), f"job {name!r}: task demand must be non-zero")
+        for site, count in tasks.items():
+            require(
+                math.isfinite(count) and count >= 0.0,
+                f"job {name!r}: task count at {site!r} must be non-negative and finite, got {count}",
+            )
         require(any(v > 0 for v in tasks.values()), f"job {name!r}: needs tasks at >= 1 site")
-        require(weight > 0.0, "weight must be positive")
+        require(
+            math.isfinite(weight) and weight > 0.0,
+            f"job {name!r}: weight must be positive and finite, got {weight}",
+        )
         self.name = name
         self.task_demand = dict(task_demand)
         self.tasks = {s: float(v) for s, v in tasks.items() if v > 0}

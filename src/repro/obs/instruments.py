@@ -127,6 +127,20 @@ _AMF_COUNTERS = {
     "ggt_flows_avoided": REGISTRY.counter(
         "repro_ggt_flows_avoided_total", "post-sweep probes answered without a flow solve"
     ),
+    # AMRF multi-resource engine (repro.multiresource.engine); zero on
+    # scalar clusters and on vector clusters served by the scalar reduction
+    "amrf_rounds": REGISTRY.counter("repro_amrf_rounds_total", "AMRF progressive-filling rounds"),
+    "amrf_lps": REGISTRY.counter("repro_amrf_lps_total", "LP solves inside the AMRF engine"),
+    "amrf_probes": REGISTRY.counter("repro_amrf_probes_total", "per-job max-share freeze probes"),
+    "amrf_probes_skipped": REGISTRY.counter(
+        "repro_amrf_probes_skipped_total", "freeze probes answered by a witness share"
+    ),
+    "amrf_basis_rows_reused": REGISTRY.counter(
+        "repro_amrf_basis_rows_reused_total", "binding LP rows replayed from a warm AmrfBasis"
+    ),
+    "amrf_table_hits": REGISTRY.counter(
+        "repro_amrf_table_hits_total", "solves served whole from the allocation-table cache"
+    ),
 }
 
 # -- service: cache / batching / daemon / HTTP --------------------------

@@ -66,6 +66,7 @@ from repro.service.schema import (
     jobs_listing_payload,
     parse_fresh,
 )
+from repro.model.resources import ResourceMismatchError, UnknownResourceError
 from repro.service.state import CapacityChanged, ClusterEvent, JobArrived, JobDeparted, StateError
 
 __all__ = ["PublishedView", "AioServiceServer", "serve_aio"]
@@ -397,6 +398,10 @@ class AioServiceServer:
             return 500, error_envelope("internal", f"unknown work kind {item.kind!r}")
         except ServiceClosed as exc:
             return 503, error_envelope("unavailable", str(exc))
+        except ResourceMismatchError as exc:
+            return 400, error_envelope("resource_mismatch", str(exc))
+        except UnknownResourceError as exc:
+            return 400, error_envelope("unknown_resource", str(exc))
         except (SchemaError, StateError, ValueError) as exc:
             return 400, error_envelope("bad_request", str(exc))
         except Exception as exc:  # noqa: BLE001 - surfaced to the client
@@ -776,6 +781,10 @@ class AioServiceServer:
             # schema/model validation happens on the loop, before admission
             if isinstance(exc, SchemaError):
                 raise
+            if isinstance(exc, ResourceMismatchError):
+                return self._error(400, "resource_mismatch", str(exc), extra, close, t0)
+            if isinstance(exc, UnknownResourceError):
+                return self._error(400, "unknown_resource", str(exc), extra, close, t0)
             return self._error(400, "bad_request", str(exc), extra, close, t0)
         return self._error(404, "not_found", f"unknown path {target!r}", extra, close, t0)
 

@@ -22,9 +22,10 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Collection
+from typing import Callable, Collection, Mapping
 
 from repro._util import require
+from repro.model.resources import ResourceError, normalize_resources
 from repro.service.state import CapacityChanged, ClusterEvent, JobArrived, JobDeparted
 
 __all__ = ["BatchStats", "CoalescingQueue", "coalesce_batch"]
@@ -113,14 +114,24 @@ def coalesce_batch(
         elif isinstance(event, CapacityChanged):
             if event.site not in known:
                 rejections.append(f"unknown site {event.site!r}")
+                continue
+            if isinstance(event.capacity, Mapping):
+                # Vector capacity: shape checks only — whether the resource
+                # set matches the site's is the state's call (it needs the
+                # Site object, which folding deliberately does not see).
+                try:
+                    normalize_resources(event.capacity, f"site {event.site!r} capacity")
+                except ResourceError as exc:
+                    rejections.append(str(exc))
+                    continue
             elif not (math.isfinite(event.capacity) and event.capacity > 0.0):
                 rejections.append(
                     f"site {event.site!r}: capacity must be positive and finite, got {event.capacity}"
                 )
-            else:
-                if event.site not in caps:
-                    cap_order.append(event.site)
-                caps[event.site] = event
+                continue
+            if event.site not in caps:
+                cap_order.append(event.site)
+            caps[event.site] = event
         else:
             rejections.append(f"unknown event type {type(event).__name__!r}")
 

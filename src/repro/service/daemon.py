@@ -199,6 +199,12 @@ class AllocationService:
         """
         with self._lock:
             self._check_open()
+            # Resource-shape violations are rejected synchronously (edges
+            # answer 400 with resource codes) and never reach the journal —
+            # their verdict cannot change by flush time, so refusing here
+            # loses nothing and keeps the WAL free of doomed events.
+            for event in events:
+                self.state.validate_event(event)
             if self.journal is not None:
                 self.journal.append(events)
             accepted = 0
@@ -392,6 +398,13 @@ class AllocationService:
                     "ggt_sweep_flows": inc.ggt_sweep_flows,
                     "ggt_breakpoints": inc.ggt_breakpoints,
                     "ggt_flows_avoided": inc.ggt_flows_avoided,
+                    # AMRF engine (all zero unless vector clusters were solved)
+                    "amrf_rounds": inc.amrf_rounds,
+                    "amrf_lps": inc.amrf_lps,
+                    "amrf_probes": inc.amrf_probes,
+                    "amrf_probes_skipped": inc.amrf_probes_skipped,
+                    "amrf_basis_rows_reused": inc.amrf_basis_rows_reused,
+                    "amrf_table_hits": inc.amrf_table_hits,
                 },
                 "cache": {
                     "entries": len(self.cache),

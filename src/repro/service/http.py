@@ -88,6 +88,7 @@ from repro.service.schema import (
     jobs_listing_payload,
     parse_fresh,
 )
+from repro.model.resources import ResourceMismatchError, UnknownResourceError
 from repro.service.state import CapacityChanged, JobArrived, JobDeparted, StateError
 
 __all__ = ["job_from_dict", "ServiceServer", "serve", "MAX_BODY_BYTES"]
@@ -311,6 +312,12 @@ class _Handler(BaseHTTPRequestHandler):
         except ServiceClosed as exc:
             self.close_connection = True
             self._fail(503, "unavailable", str(exc))
+        # Resource-shape violations carry their own codes (before the
+        # generic ValueError arm, which would claim them as bad_request).
+        except ResourceMismatchError as exc:
+            self._fail(400, "resource_mismatch", str(exc))
+        except UnknownResourceError as exc:
+            self._fail(400, "unknown_resource", str(exc))
         except (SchemaError, StateError, ValueError, json.JSONDecodeError) as exc:
             self._fail(400, "bad_request", str(exc))
         except Exception as exc:  # noqa: BLE001
@@ -335,6 +342,10 @@ class _Handler(BaseHTTPRequestHandler):
         except ServiceClosed as exc:
             self.close_connection = True
             self._fail(503, "unavailable", str(exc))
+        except ResourceMismatchError as exc:
+            self._fail(400, "resource_mismatch", str(exc))
+        except UnknownResourceError as exc:
+            self._fail(400, "unknown_resource", str(exc))
         except (SchemaError, StateError, ValueError) as exc:
             self._fail(400, "bad_request", str(exc))
         except Exception as exc:  # noqa: BLE001

@@ -52,7 +52,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro._util import require
 from repro.model.cluster import Cluster
@@ -100,6 +100,8 @@ def _job_to_json(job: Job) -> dict[str, Any]:
         out["weight"] = job.weight
     if job.arrival != 0.0:
         out["arrival"] = job.arrival
+    if job.resources:
+        out["resources"] = dict(job.resources)
     return out
 
 
@@ -110,6 +112,7 @@ def _job_from_json(data: dict[str, Any]) -> Job:
         {k: float(v) for k, v in data.get("demand", {}).items()},
         weight=float(data.get("weight", 1.0)),
         arrival=float(data.get("arrival", 0.0)),
+        resources={k: float(v) for k, v in data.get("resources", {}).items()},
     )
 
 
@@ -120,7 +123,9 @@ def event_to_json(event: ClusterEvent) -> dict[str, Any]:
     elif isinstance(event, JobDeparted):
         out = {"k": "depart", "name": event.name}
     elif isinstance(event, CapacityChanged):
-        out = {"k": "capacity", "site": event.site, "capacity": event.capacity}
+        # A vector capacity journals as the map itself; scalar stays a number.
+        cap = dict(event.capacity) if isinstance(event.capacity, Mapping) else event.capacity
+        out = {"k": "capacity", "site": event.site, "capacity": cap}
     else:
         raise JournalError(f"unjournalable event type {type(event).__name__!r}")
     if event.time != 0.0:
@@ -137,7 +142,9 @@ def event_from_json(data: dict[str, Any]) -> ClusterEvent:
     if kind == "depart":
         return JobDeparted(str(data["name"]), t)
     if kind == "capacity":
-        return CapacityChanged(str(data["site"]), float(data["capacity"]), t)
+        raw = data["capacity"]
+        cap = {k: float(v) for k, v in raw.items()} if isinstance(raw, dict) else float(raw)
+        return CapacityChanged(str(data["site"]), cap, t)
     raise JournalError(f"unknown journaled event kind {kind!r}")
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.model.job import Job
+from repro.model.resources import ResourceMismatchError
 
 __all__ = [
     "MAX_BODY_BYTES",
@@ -68,31 +69,76 @@ def _site_map(value: Any, what: str) -> dict[str, float]:
     return {str(k): _number(v, f"{what}[{k!r}]") for k, v in value.items()}
 
 
+def _resource_map(value: Any, what: str) -> dict[str, float]:
+    """A resource-name → amount object (shape only; semantics live in the
+    model's :func:`~repro.model.resources.normalize_resources`)."""
+    _require(isinstance(value, Mapping), f"{what} must be an object of resource -> number")
+    out: dict[str, float] = {}
+    for key, raw in value.items():
+        _require(isinstance(key, str) and bool(key), f"{what} keys must be non-empty strings")
+        out[key] = _number(raw, f"{what}[{key!r}]")
+    return out
+
+
+def _demand_map(value: Any, what: str, resources: dict[str, float]) -> dict[str, float]:
+    """Per-site demand caps: each entry a number (task-rate cap) or a
+    resource map, converted to the task rate that vector supports
+    (``min_r entry[r] / resources[r]``)."""
+    _require(isinstance(value, Mapping), f"{what} must be an object of site -> number | resource map")
+    per_task = resources or {"slots": 1.0}
+    out: dict[str, float] = {}
+    for site, raw in value.items():
+        site = str(site)
+        if isinstance(raw, Mapping):
+            vec = _resource_map(raw, f"{what}[{site!r}]")
+            _require(bool(vec), f"{what}[{site!r}] vector must not be empty")
+            extra = set(vec) - set(per_task)
+            if extra:
+                raise ResourceMismatchError(
+                    f"{what}[{site!r}] names resources {sorted(extra)} the job does not "
+                    f"consume (job resources: {sorted(per_task)})"
+                )
+            out[site] = min(vec[r] / per_task[r] for r in vec)
+        else:
+            out[site] = _number(raw, f"{what}[{site!r}]")
+    return out
+
+
 @dataclass(frozen=True, slots=True)
 class JobSpec:
-    """Wire form of one job (``POST /v1/jobs`` / ``POST /v1/allocate``)."""
+    """Wire form of one job (``POST /v1/jobs`` / ``POST /v1/allocate``).
+
+    ``resources`` is the per-task demand vector (resource → amount,
+    uniform across sites); omitted means the scalar world's ``{"slots": 1}``.
+    ``demand`` entries accept a plain number (aggregate task-rate cap, the
+    historical form) or a resource map, normalized at parse time to the
+    task rate that vector supports.
+    """
 
     name: str
     workload: dict[str, float]
     demand: dict[str, float] = field(default_factory=dict)
     weight: float = 1.0
     arrival: float = 0.0
+    resources: dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_json(cls, data: Any) -> "JobSpec":
         _require(isinstance(data, Mapping), "job must be a JSON object")
         _require("name" in data and "workload" in data, "job object needs at least 'name' and 'workload'")
-        unknown = set(data) - {"name", "workload", "demand", "weight", "arrival"}
+        unknown = set(data) - {"name", "workload", "demand", "weight", "arrival", "resources"}
         _require(not unknown, f"job object has unknown fields {sorted(unknown)}")
         name = data["name"]
         _require(isinstance(name, str) and bool(name), "job 'name' must be a non-empty string")
         try:
+            resources = _resource_map(data.get("resources", {}), "resources")
             return cls(
                 name=name,
                 workload=_site_map(data["workload"], "workload"),
-                demand=_site_map(data.get("demand", {}), "demand"),
+                demand=_demand_map(data.get("demand", {}), "demand", resources),
                 weight=_number(data.get("weight", 1.0), "weight"),
                 arrival=_number(data.get("arrival", 0.0), "arrival"),
+                resources=resources,
             )
         except SchemaError as exc:
             raise SchemaError(f"malformed job object: {exc}") from exc
@@ -100,7 +146,14 @@ class JobSpec:
     def to_job(self) -> Job:
         """Build the model object (its validation — positivity, demand only
         on support — still applies and also maps to 400)."""
-        return Job(self.name, self.workload, self.demand, weight=self.weight, arrival=self.arrival)
+        return Job(
+            self.name,
+            self.workload,
+            self.demand,
+            weight=self.weight,
+            arrival=self.arrival,
+            resources=self.resources,
+        )
 
     def to_json(self) -> dict[str, Any]:
         out: dict[str, Any] = {"name": self.name, "workload": dict(self.workload)}
@@ -110,26 +163,41 @@ class JobSpec:
             out["weight"] = self.weight
         if self.arrival != 0.0:
             out["arrival"] = self.arrival
+        if self.resources:
+            out["resources"] = dict(self.resources)
         return out
 
 
 @dataclass(frozen=True, slots=True)
 class CapacitySpec:
-    """Wire form of ``POST /v1/capacity``."""
+    """Wire form of ``POST /v1/capacity``.
+
+    ``capacity`` is a positive number (scalar site, the historical form)
+    or a resource → amount map; a vector update must keep the site's
+    resource-name set (the state enforces that, answering
+    ``resource_mismatch`` otherwise).
+    """
 
     site: str
-    capacity: float
+    capacity: float | dict[str, float]
 
     @classmethod
     def from_json(cls, data: Any) -> "CapacitySpec":
         _require(isinstance(data, Mapping), "body must be a JSON object")
         _require("site" in data and "capacity" in data, "body needs 'site' and 'capacity'")
+        if isinstance(data["capacity"], Mapping):
+            vec = _resource_map(data["capacity"], "capacity")
+            _require(bool(vec), "capacity vector must not be empty")
+            for res, amount in vec.items():
+                _require(amount > 0.0, f"capacity[{res!r}] must be positive and finite, got {amount}")
+            return cls(site=str(data["site"]), capacity=vec)
         capacity = _number(data["capacity"], "capacity")
         _require(capacity > 0.0, f"capacity must be positive and finite, got {capacity}")
         return cls(site=str(data["site"]), capacity=capacity)
 
     def to_json(self) -> dict[str, Any]:
-        return {"site": self.site, "capacity": self.capacity}
+        cap = dict(self.capacity) if isinstance(self.capacity, dict) else self.capacity
+        return {"site": self.site, "capacity": cap}
 
 
 @dataclass(frozen=True, slots=True)
@@ -276,9 +344,17 @@ def jobs_listing_payload(
 _JOB_FIELDS = {
     "name": "string (required, non-empty, unique)",
     "workload": "object site -> finite number >= 0 (required, >= 1 positive entry)",
-    "demand": "object site -> finite number >= 0 (optional; only on workload sites)",
+    "demand": (
+        "object site -> finite number >= 0 | object resource -> finite number "
+        "(optional; only on workload sites; a resource map converts to the "
+        "task rate it supports: min_r demand[r] / resources[r])"
+    ),
     "weight": "finite number > 0 (optional, default 1.0)",
     "arrival": "finite number >= 0 (optional, default 0.0)",
+    "resources": (
+        "object resource -> finite number > 0 (optional; per-task demand vector, "
+        "uniform across sites; omitted = {'slots': 1})"
+    ),
 }
 
 _ALLOCATION_FIELDS = {
@@ -295,6 +371,10 @@ _ALLOCATION_FIELDS = {
 #: Served verbatim at ``GET /v1/spec``.
 API_SPEC: dict[str, Any] = {
     "api_version": "v1",
+    # Bumped to 2 with the resource-vector forms of JobSpec.resources,
+    # vector demand entries and CapacitySpec.capacity maps (all additive:
+    # every schema_version-1 body is still accepted unchanged).
+    "schema_version": 2,
     "versioning": {
         "policy": (
             "All endpoints live under /v1/. Unversioned paths are deprecated aliases: "
@@ -308,6 +388,12 @@ API_SPEC: dict[str, Any] = {
         "shape": {"error": {"code": "string", "message": "string", "detail": "any | null"}},
         "codes": {
             "bad_request": "400 — malformed JSON, schema violation, non-finite number",
+            "resource_mismatch": (
+                "400 — resource-name sets disagree: a vector capacity update that adds or "
+                "drops a site resource, a scalar update on a vector site, or a demand map "
+                "naming resources the job does not consume"
+            ),
+            "unknown_resource": "400 — a job demands a resource no site offers",
             "not_found": "404 — unknown path or unknown job name",
             "request_timeout": "408 — body read stalled or shorter than Content-Length",
             "payload_too_large": "413 — request body above the size limit",
@@ -327,7 +413,13 @@ API_SPEC: dict[str, Any] = {
     },
     "schemas": {
         "JobSpec": _JOB_FIELDS,
-        "CapacitySpec": {"site": "string (required)", "capacity": "finite number > 0 (required)"},
+        "CapacitySpec": {
+            "site": "string (required)",
+            "capacity": (
+                "finite number > 0 | object resource -> finite number > 0 (required; "
+                "a vector must keep the site's existing resource-name set)"
+            ),
+        },
         "Allocation": _ALLOCATION_FIELDS,
     },
     "routes": [
@@ -400,6 +492,7 @@ API_SPEC: dict[str, Any] = {
             "path": "/v1/spec",
             "response": [
                 "api_version",
+                "schema_version",
                 "versioning",
                 "error_envelope",
                 "pagination",

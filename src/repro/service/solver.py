@@ -84,6 +84,13 @@ class IncrementalStats:
     shard_cache_hits: int = 0  # components replayed from the matrix cache
     shard_cache_misses: int = 0
     last_shards: int = 0  # components in the most recent decomposition
+    # AMRF multi-resource engine (all zero on scalar / reduced solves)
+    amrf_rounds: int = 0
+    amrf_lps: int = 0
+    amrf_probes: int = 0
+    amrf_probes_skipped: int = 0
+    amrf_basis_rows_reused: int = 0
+    amrf_table_hits: int = 0
 
     @property
     def probes_reused(self) -> int:
@@ -104,6 +111,12 @@ class IncrementalStats:
         self.ggt_sweep_flows += diag.ggt_sweep_flows
         self.ggt_breakpoints += diag.ggt_breakpoints
         self.ggt_flows_avoided += diag.ggt_flows_avoided
+        self.amrf_rounds += diag.amrf_rounds
+        self.amrf_lps += diag.amrf_lps
+        self.amrf_probes += diag.amrf_probes
+        self.amrf_probes_skipped += diag.amrf_probes_skipped
+        self.amrf_basis_rows_reused += diag.amrf_basis_rows_reused
+        self.amrf_table_hits += diag.amrf_table_hits
 
 
 class IncrementalAmfSolver:
@@ -216,6 +229,17 @@ class IncrementalAmfSolver:
         self.stats.last_shards = len(shards)
         observing = REGISTRY.enabled or TRACER.enabled
         before = dataclasses.replace(diag) if observing else None
+        # Multi-resource shards are only separable *given* the federation's
+        # resource totals (the dominant-share denominators), so the totals
+        # ride along to every shard solve — and into the cache key, because
+        # the same sub-cluster under different global totals solves to a
+        # different matrix.
+        totals = cluster.resource_totals if cluster.is_multiresource else None
+        totals_tag = (
+            ""
+            if totals is None
+            else "|T:" + ",".join(f"{res}={amount.hex()}" for res, amount in sorted(totals.items()))
+        )
         pieces: list[tuple] = []
         with span(
             "amf.solve", variant="sharded", jobs=cluster.n_jobs, sites=cluster.n_sites, shards=len(shards)
@@ -225,7 +249,7 @@ class IncrementalAmfSolver:
             for sh in shards:
                 if sh.n_jobs == 0:
                     continue
-                key = sh.cluster.fingerprint()
+                key = sh.cluster.fingerprint() + totals_tag
                 cached = self._shard_matrices.get(key)
                 if cached is not None:
                     self._shard_matrices.move_to_end(key)
@@ -237,14 +261,20 @@ class IncrementalAmfSolver:
             self.stats.shard_cache_misses += len(misses)
             record_shard_cache(hits=hits, misses=len(misses))
             if self.shard_backend is not None:
-                results = self.shard_backend.solve_shards(misses)
+                results = self.shard_backend.solve_shards(misses, resource_totals=totals)
             else:
-                results = solve_shards(misses, bases=self.bases, oracle=self.oracle, workers=self.workers)
+                results = solve_shards(
+                    misses,
+                    bases=self.bases,
+                    oracle=self.oracle,
+                    workers=self.workers,
+                    resource_totals=totals,
+                )
             for res in results:
                 merge_diagnostics(diag, res.diagnostics)
                 record_shard_solve(res.shard.n_jobs, res.seconds)
                 self.stats.shard_solves += 1
-                self._shard_matrices[res.shard.cluster.fingerprint()] = res.matrix
+                self._shard_matrices[res.shard.cluster.fingerprint() + totals_tag] = res.matrix
                 while len(self._shard_matrices) > self.shard_cache_size:
                     self._shard_matrices.popitem(last=False)
                 pieces.append((res.shard, res.matrix))

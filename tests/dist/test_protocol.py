@@ -78,6 +78,12 @@ MESSAGE_STRATEGIES = {
         oracle=st.sampled_from(["parametric", "legacy"]),
         seed_cuts=st.lists(site_sets, max_size=3).map(tuple),
         floors=st.one_of(st.none(), st.lists(floats, max_size=4).map(tuple)),
+        resource_totals=st.one_of(
+            st.none(),
+            st.dictionaries(names, st.floats(min_value=0.0, max_value=1e9), max_size=3).map(
+                lambda d: tuple(sorted(d.items()))
+            ),
+        ),
     ),
     "shard_solved": st.builds(
         ShardSolved,
@@ -216,7 +222,7 @@ class TestAdversarialFraming:
 
     def test_wrong_version(self):
         with pytest.raises(ProtocolError, match="version"):
-            _recv_from(self._frame({"v": 2, "type": "ping", "id": 1, "body": {}}))
+            _recv_from(self._frame({"v": PROTOCOL_VERSION + 1, "type": "ping", "id": 1, "body": {}}))
 
     def test_missing_envelope_fields(self):
         with pytest.raises(ProtocolError, match="missing"):
